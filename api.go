@@ -1,0 +1,251 @@
+// Package mcddvfs is a library reproduction of "Voltage and Frequency
+// Control With Adaptive Reaction Time in Multiple-Clock-Domain
+// Processors" (Wu, Juang, Martonosi, Clark — HPCA 2005).
+//
+// It bundles a cycle-level multiple-clock-domain (MCD) out-of-order
+// processor simulator with per-domain DVFS, the paper's adaptive
+// event-driven DVFS controller, the fixed-interval prior-work schemes
+// it is compared against (attack/decay and PID), a Wattch-style energy
+// model, the Section-4 control-theoretic stability analysis, the
+// Section-5.2 spectral workload classifier, and an experiment harness
+// that regenerates every table and figure of the evaluation.
+//
+// Quick start:
+//
+//	res, err := mcddvfs.Run(mcddvfs.RunSpec{
+//		Benchmark: "epic_decode",
+//		Scheme:    mcddvfs.SchemeAdaptive,
+//	})
+//
+// Compare against the no-DVFS baseline:
+//
+//	base, _ := mcddvfs.Run(mcddvfs.RunSpec{Benchmark: "epic_decode", Scheme: mcddvfs.SchemeNone})
+//	cmp := mcddvfs.CompareRuns(base, res)
+//	fmt.Printf("energy saving %.1f%%, slowdown %.1f%%\n",
+//		100*cmp.EnergySaving, 100*cmp.PerfDegradation)
+package mcddvfs
+
+import (
+	"io"
+
+	"mcddvfs/internal/control"
+	"mcddvfs/internal/experiment"
+	"mcddvfs/internal/isa"
+	"mcddvfs/internal/mcd"
+	"mcddvfs/internal/power"
+	"mcddvfs/internal/spectrum"
+	"mcddvfs/internal/stability"
+	"mcddvfs/internal/trace"
+)
+
+// Re-exported core types. The aliases make the full capability of the
+// internal packages reachable through the public API without widening
+// the import surface.
+type (
+	// Result is the outcome of one simulation run.
+	Result = mcd.Result
+	// DomainStats summarizes one clock domain after a run.
+	DomainStats = mcd.DomainStats
+	// FreqPoint is one frequency-trajectory sample (Figure 7's axes).
+	FreqPoint = mcd.FreqPoint
+	// MachineConfig is the Table-1 machine description.
+	MachineConfig = mcd.Config
+	// ControllerConfig parameterizes the adaptive controller.
+	ControllerConfig = control.Config
+	// ControllerStats counts adaptive-controller events.
+	ControllerStats = control.Stats
+	// Metrics is a run's headline energy/performance outcome.
+	Metrics = power.Metrics
+	// Comparison holds the paper's three metrics vs a baseline run.
+	Comparison = power.Comparison
+	// Scheme names a DVFS control scheme.
+	Scheme = experiment.Scheme
+	// Report is a rendered table or figure.
+	Report = experiment.Report
+	// Options configures experiment-harness runs.
+	Options = experiment.Options
+	// Matrix is the benchmark × scheme result grid.
+	Matrix = experiment.Matrix
+	// BenchClass is one row of the workload classification.
+	BenchClass = experiment.BenchClass
+	// StabilitySystem is the Section-4 analytic model.
+	StabilitySystem = stability.System
+	// Profile is a synthetic benchmark description.
+	Profile = trace.Profile
+	// Phase is one program phase of a Profile.
+	Phase = trace.Phase
+	// Mix is a phase's instruction-class distribution, indexed by the
+	// Class* constants.
+	Mix = trace.Mix
+	// Class is a micro-operation class.
+	Class = isa.Class
+	// ExecDomain identifies a DVFS-controlled clock domain.
+	ExecDomain = isa.ExecDomain
+)
+
+// Instruction classes for building custom workload mixes.
+const (
+	ClassIntALU  = isa.IntALU
+	ClassIntMult = isa.IntMult
+	ClassIntDiv  = isa.IntDiv
+	ClassFPAdd   = isa.FPAdd
+	ClassFPMult  = isa.FPMult
+	ClassFPDiv   = isa.FPDiv
+	ClassFPSqrt  = isa.FPSqrt
+	ClassLoad    = isa.Load
+	ClassStore   = isa.Store
+	ClassBranch  = isa.Branch
+	ClassNop     = isa.Nop
+)
+
+// The evaluated schemes.
+const (
+	SchemeNone        = experiment.SchemeNone
+	SchemeAdaptive    = experiment.SchemeAdaptive
+	SchemePID         = experiment.SchemePID
+	SchemeAttackDecay = experiment.SchemeAttackDecay
+)
+
+// The controlled execution domains.
+const (
+	DomainInt = isa.DomainInt
+	DomainFP  = isa.DomainFP
+	DomainLS  = isa.DomainLS
+)
+
+// Benchmarks returns the names of the 17 bundled synthetic benchmarks
+// (6 MediaBench, 6 SPECint2000, 5 SPECfp2000 profiles).
+func Benchmarks() []string { return trace.Names() }
+
+// BenchmarkProfile returns the profile of one bundled benchmark.
+func BenchmarkProfile(name string) (Profile, error) { return trace.ByName(name) }
+
+// DefaultMachine returns the Table-1 machine configuration.
+func DefaultMachine() MachineConfig { return mcd.DefaultConfig() }
+
+// DefaultController returns the paper's adaptive-controller
+// configuration for one domain (QRef 7 for INT, 4 for FP/LS; delays
+// 50/8; deviation windows ±1/0).
+func DefaultController(domain ExecDomain) ControllerConfig {
+	return control.DefaultConfig(domain)
+}
+
+// RunSpec describes one simulation run.
+type RunSpec struct {
+	// Benchmark is a bundled benchmark name (see Benchmarks).
+	Benchmark string
+	// Scheme selects the DVFS control scheme (default SchemeAdaptive).
+	Scheme Scheme
+	// Instructions is the dynamic instruction budget (default 500000).
+	Instructions int64
+	// Seed makes the run reproducible (default 1).
+	Seed int64
+	// Machine, when non-nil, overrides the Table-1 machine.
+	Machine *MachineConfig
+	// TuneAdaptive, when non-nil, adjusts the adaptive controller of
+	// each domain before the run (ignored for other schemes).
+	TuneAdaptive func(*ControllerConfig)
+}
+
+// Run simulates one benchmark under one control scheme and returns the
+// result.
+func Run(spec RunSpec) (*Result, error) {
+	if spec.Scheme == "" {
+		spec.Scheme = SchemeAdaptive
+	}
+	opt := experiment.Options{
+		Instructions:   spec.Instructions,
+		Seed:           spec.Seed,
+		Machine:        spec.Machine,
+		MutateAdaptive: spec.TuneAdaptive,
+	}
+	return experiment.RunOne(spec.Benchmark, spec.Scheme, opt)
+}
+
+// RunProfile simulates a user-defined workload profile (rather than a
+// bundled benchmark) under the given spec. spec.Benchmark is ignored.
+func RunProfile(prof Profile, spec RunSpec) (*Result, error) {
+	if spec.Scheme == "" {
+		spec.Scheme = SchemeAdaptive
+	}
+	opt := experiment.Options{
+		Instructions:   spec.Instructions,
+		Seed:           spec.Seed,
+		Machine:        spec.Machine,
+		MutateAdaptive: spec.TuneAdaptive,
+	}
+	return experiment.RunProfile(prof, spec.Scheme, opt)
+}
+
+// CompareRuns computes the paper's three headline metrics (energy
+// saving, performance degradation, EDP improvement) of run against
+// base.
+func CompareRuns(base, run *Result) Comparison {
+	return power.Compare(base.Metrics, run.Metrics)
+}
+
+// ClassifyWorkload applies the Section-5.2 spectral test to a queue
+// occupancy series sampled at 250 MHz and reports whether it counts as
+// fast-varying.
+func ClassifyWorkload(occupancy []float64) (fastShare float64, fast bool, err error) {
+	c, err := spectrum.Classify(occupancy, spectrum.DefaultIntervalSamples, spectrum.DefaultFastShareThreshold)
+	if err != nil {
+		return 0, false, err
+	}
+	return c.ShortShare, c.Fast, nil
+}
+
+// DefaultStabilitySystem returns the Section-4 analytic model with the
+// paper's typical setting.
+func DefaultStabilitySystem() StabilitySystem { return stability.Default() }
+
+// NewMatrix simulates every benchmark under every scheme (the grid
+// behind Figures 9–11). Expensive: ~70 full simulations.
+func NewMatrix(opt Options) (*Matrix, error) { return experiment.RunMatrix(opt) }
+
+// TraceSource is a stream of dynamic instructions: a synthetic
+// Generator or a replayed trace file.
+type TraceSource = trace.Source
+
+// NewTraceGenerator builds a generator for a profile — the way to
+// stream instructions without running the simulator.
+func NewTraceGenerator(prof Profile, seed, instructions int64) (*trace.Generator, error) {
+	return trace.NewGenerator(prof, seed, instructions)
+}
+
+// WriteTrace serializes count instructions from src to w in the
+// repository's trace format (replayable with ReadTrace / cmd/tracegen).
+func WriteTrace(w io.Writer, src TraceSource, count int64) (int64, error) {
+	return trace.Write(w, src, count)
+}
+
+// ReadTrace opens a serialized trace for replay.
+func ReadTrace(r io.Reader) (*trace.Reader, error) { return trace.NewReader(r) }
+
+// RunTrace simulates a pre-built instruction source (e.g. a replayed
+// trace) under the given spec. spec.Benchmark and spec.Instructions are
+// ignored: the source defines both.
+func RunTrace(src TraceSource, spec RunSpec) (*Result, error) {
+	if spec.Scheme == "" {
+		spec.Scheme = SchemeAdaptive
+	}
+	machine := DefaultMachine()
+	if spec.Machine != nil {
+		machine = *spec.Machine
+	}
+	machine.Seed = spec.Seed
+	p, err := mcd.New(machine)
+	if err != nil {
+		return nil, err
+	}
+	opt := experiment.Options{Seed: spec.Seed, MutateAdaptive: spec.TuneAdaptive}
+	if err := experiment.AttachScheme(p, spec.Scheme, opt); err != nil {
+		return nil, err
+	}
+	res, err := p.Run(src)
+	if err != nil {
+		return nil, err
+	}
+	res.Scheme = string(spec.Scheme)
+	return res, nil
+}

@@ -1,0 +1,190 @@
+package mcddvfs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestBenchmarksList(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 17 {
+		t.Fatalf("got %d benchmarks, want 17", len(bs))
+	}
+	if _, err := BenchmarkProfile(bs[0]); err != nil {
+		t.Error(err)
+	}
+	if _, err := BenchmarkProfile("nonesuch"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunDefaultsToAdaptive(t *testing.T) {
+	res, err := Run(RunSpec{Benchmark: "gzip", Instructions: 40000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != string(SchemeAdaptive) {
+		t.Errorf("scheme = %q, want adaptive", res.Scheme)
+	}
+	if res.Metrics.Instructions != 40000 {
+		t.Errorf("retired %d", res.Metrics.Instructions)
+	}
+}
+
+func TestCompareRunsEndToEnd(t *testing.T) {
+	base, err := Run(RunSpec{Benchmark: "swim", Scheme: SchemeNone, Instructions: 120000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := Run(RunSpec{Benchmark: "swim", Scheme: SchemeAdaptive, Instructions: 120000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := CompareRuns(base, ad)
+	if c.EnergySaving <= 0 {
+		t.Errorf("adaptive saved no energy on swim: %+v", c)
+	}
+	if c.PerfDegradation > 0.15 {
+		t.Errorf("perf degradation %.1f%% too high", 100*c.PerfDegradation)
+	}
+}
+
+func TestTuneAdaptiveHook(t *testing.T) {
+	called := 0
+	_, err := Run(RunSpec{
+		Benchmark:    "gzip",
+		Instructions: 20000,
+		Seed:         5,
+		TuneAdaptive: func(c *ControllerConfig) { called++; c.TM0 = 100 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called != 3 { // one controller per controlled domain
+		t.Errorf("tune hook called %d times, want 3", called)
+	}
+}
+
+func TestDefaultControllerPerDomain(t *testing.T) {
+	if DefaultController(DomainInt).QRef != 7 {
+		t.Error("INT QRef != 7")
+	}
+	if DefaultController(DomainFP).QRef != 4 || DefaultController(DomainLS).QRef != 4 {
+		t.Error("FP/LS QRef != 4")
+	}
+}
+
+func TestDefaultMachineValid(t *testing.T) {
+	cfg := DefaultMachine()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifyWorkloadAPI(t *testing.T) {
+	n := 1 << 14
+	fast := make([]float64, n)
+	for i := range fast {
+		fast[i] = 5 + 4*math.Sin(2*math.Pi*float64(i)/500)
+	}
+	share, isFast, err := ClassifyWorkload(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isFast || share < 0.9 {
+		t.Errorf("sinusoid at wavelength 500 not fast: share=%.3f fast=%v", share, isFast)
+	}
+}
+
+func TestDefaultStabilitySystem(t *testing.T) {
+	s := DefaultStabilitySystem()
+	if !s.Stable(1) {
+		t.Error("default system unstable")
+	}
+}
+
+func TestNewMatrixSmall(t *testing.T) {
+	m, err := NewMatrix(Options{Instructions: 20000, Seed: 5, Benchmarks: []string{"gzip"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Results["gzip"]) != 4 {
+		t.Errorf("matrix cell count = %d, want 4 schemes", len(m.Results["gzip"]))
+	}
+}
+
+func TestTraceAPIRoundTrip(t *testing.T) {
+	prof, err := BenchmarkProfile("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewTraceGenerator(prof, 9, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := WriteTrace(&buf, gen, 20000); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunTrace(r, RunSpec{Scheme: SchemeAdaptive, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Instructions != 20000 {
+		t.Errorf("replayed %d instructions", res.Metrics.Instructions)
+	}
+	if res.Benchmark != "gzip" {
+		t.Errorf("benchmark label = %q", res.Benchmark)
+	}
+}
+
+func TestRunTraceMatchesRunExactly(t *testing.T) {
+	// Replaying a captured trace must reproduce the generator-driven
+	// run bit for bit (same seed drives the machine's jitter).
+	direct, err := Run(RunSpec{Benchmark: "gzip", Scheme: SchemeNone, Instructions: 15000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := BenchmarkProfile("gzip")
+	gen, _ := NewTraceGenerator(prof, 4+11, 15000) // harness offsets the trace seed by 11
+	var buf bytes.Buffer
+	if _, err := WriteTrace(&buf, gen, 15000); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := ReadTrace(&buf)
+	replayed, err := RunTrace(r, RunSpec{Scheme: SchemeNone, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Metrics != replayed.Metrics {
+		t.Errorf("replay diverged:\n direct  %+v\n replay  %+v", direct.Metrics, replayed.Metrics)
+	}
+}
+
+func TestRunTraceErrors(t *testing.T) {
+	// Corrupt machine config propagates.
+	bad := DefaultMachine()
+	bad.ROBSize = 0
+	prof, _ := BenchmarkProfile("gzip")
+	gen, _ := NewTraceGenerator(prof, 1, 100)
+	if _, err := RunTrace(gen, RunSpec{Machine: &bad}); err == nil {
+		t.Error("invalid machine accepted")
+	}
+	// Unknown scheme propagates.
+	gen2, _ := NewTraceGenerator(prof, 1, 100)
+	if _, err := RunTrace(gen2, RunSpec{Scheme: Scheme("bogus")}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestRunProfileValidation(t *testing.T) {
+	var empty Profile
+	if _, err := RunProfile(empty, RunSpec{Instructions: 100}); err == nil {
+		t.Error("empty profile accepted")
+	}
+}

@@ -1,0 +1,203 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -all                 # everything (the full matrix takes ~1-2 min)
+//	experiments -only table1,fig7   # selected artifacts
+//	experiments -all -out results/  # also write one .txt per artifact
+//
+// Artifact IDs: table1 table2 fig7 fig8 fig9 fig10 fig11 table3 table4
+// remarks ablation transitions global qref interfaces partitions delays seeds summary.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mcddvfs/internal/experiment"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "run every experiment")
+		only   = flag.String("only", "", "comma-separated artifact IDs to run")
+		insts  = flag.Int64("insts", 500000, "instructions per simulation")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		out    = flag.String("out", "", "directory to also write per-artifact .txt files")
+		asJSON = flag.Bool("json", false, "with -out, also write per-artifact .json files")
+		asSVG  = flag.Bool("svg", false, "with -out, also render figures 7-11 as .svg files")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	switch {
+	case *all:
+	case *only != "":
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "experiments: pass -all or -only <ids>; see -h")
+		os.Exit(2)
+	}
+	sel := func(id string) bool { return *all || want[id] }
+
+	opt := experiment.Options{Instructions: *insts, Seed: *seed}
+	emit := func(rep experiment.Report, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", rep.ID, err)
+			os.Exit(1)
+		}
+		rep.WriteTo(os.Stdout) //nolint:errcheck // stdout
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*out, rep.ID+".txt")
+			if err := os.WriteFile(path, []byte(rep.String()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			if *asJSON {
+				blob, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+				jpath := filepath.Join(*out, rep.ID+".json")
+				if err := os.WriteFile(jpath, blob, 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+
+	if sel("table1") {
+		emit(experiment.Table1(opt), nil)
+	}
+	if sel("table4") {
+		emit(experiment.Table4(), nil)
+	}
+	if sel("remarks") {
+		rep, err := experiment.RemarksReport()
+		emit(rep, err)
+	}
+
+	var classes []experiment.BenchClass
+	if sel("table2") || sel("fig11") || sel("table3") || sel("summary") {
+		rep, cl, err := experiment.Table2(opt)
+		classes = cl
+		if sel("table2") {
+			emit(rep, err)
+		} else if err != nil {
+			emit(rep, err)
+		}
+	}
+	writeSVG := func(id string, svg string, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s.svg: %v\n", id, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, id+".svg")
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if sel("fig7") {
+		rep, err := experiment.Figure7(opt)
+		emit(rep, err)
+		if *asSVG && *out != "" {
+			svg, err := experiment.Figure7SVG(opt)
+			writeSVG("fig7", svg, err)
+		}
+	}
+	if sel("fig8") {
+		rep, err := experiment.Figure8(opt)
+		emit(rep, err)
+		if *asSVG && *out != "" {
+			svg, err := experiment.Figure8SVG(opt)
+			writeSVG("fig8", svg, err)
+		}
+	}
+
+	if sel("fig9") || sel("fig10") || sel("fig11") || sel("summary") {
+		m, err := experiment.RunMatrix(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: matrix:", err)
+			os.Exit(1)
+		}
+		if sel("fig9") {
+			emit(m.Figure9(), nil)
+			if *asSVG && *out != "" {
+				svg, err := m.Figure9SVG()
+				writeSVG("fig9", svg, err)
+			}
+		}
+		if sel("fig10") {
+			emit(m.Figure10(), nil)
+			if *asSVG && *out != "" {
+				svg, err := m.Figure10SVG()
+				writeSVG("fig10", svg, err)
+			}
+		}
+		if sel("fig11") {
+			fast := experiment.FastGroup(classes)
+			if len(fast) == 0 {
+				fmt.Fprintln(os.Stderr, "experiments: classifier found no fast benchmarks")
+				os.Exit(1)
+			}
+			emit(m.Figure11(fast), nil)
+			if *asSVG && *out != "" {
+				svg, err := m.Figure11SVG(fast)
+				writeSVG("fig11", svg, err)
+			}
+		}
+		if sel("summary") {
+			emit(experiment.Summary(m, classes), nil)
+		}
+	}
+	if sel("table3") {
+		fast := experiment.FastGroup(classes)
+		rep, err := experiment.Table3(opt, fast)
+		emit(rep, err)
+	}
+	if sel("ablation") {
+		rep, err := experiment.Ablation(opt, []string{"adpcm_encode", "gsm_decode", "gzip", "swim"})
+		emit(rep, err)
+	}
+	if sel("transitions") {
+		rep, err := experiment.TransitionStyles(opt, []string{"adpcm_encode", "gsm_decode", "gzip", "swim"})
+		emit(rep, err)
+	}
+	if sel("global") {
+		rep, err := experiment.GlobalComparison(opt, []string{"adpcm_encode", "gzip", "swim", "epic_decode"})
+		emit(rep, err)
+	}
+	if sel("qref") {
+		rep, err := experiment.QRefSweep(opt, []string{"gsm_decode", "gzip", "swim"})
+		emit(rep, err)
+	}
+	if sel("interfaces") {
+		rep, err := experiment.InterfaceStudy(opt, []string{"gsm_decode", "swim"})
+		emit(rep, err)
+	}
+	if sel("partitions") {
+		rep, err := experiment.PartitionStudy(opt, []string{"adpcm_encode", "gsm_decode", "gzip", "mcf", "swim"})
+		emit(rep, err)
+	}
+	if sel("delays") {
+		rep, err := experiment.DelaySweep(opt, []string{"adpcm_encode", "gsm_decode", "gzip"})
+		emit(rep, err)
+	}
+	if sel("seeds") {
+		rep, err := experiment.SeedStudy(opt, []string{"adpcm_encode", "gzip", "swim"}, 5)
+		emit(rep, err)
+	}
+}

@@ -1,0 +1,130 @@
+// Command mcdsim runs one benchmark on the MCD processor simulator
+// under a chosen DVFS scheme and prints a run report.
+//
+// Usage:
+//
+//	mcdsim -bench epic_decode -scheme adaptive -insts 500000
+//	mcdsim -bench mcf -scheme none -v
+//	mcdsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"mcddvfs/internal/dvfs"
+	"mcddvfs/internal/experiment"
+	"mcddvfs/internal/mcd"
+	"mcddvfs/internal/queue"
+	"mcddvfs/internal/trace"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "epic_decode", "benchmark name (see -list)")
+		scheme  = flag.String("scheme", "adaptive", "DVFS scheme: none | adaptive | pid | attack-decay")
+		insts   = flag.Int64("insts", 500000, "dynamic instruction budget")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		verbose = flag.Bool("v", false, "print per-domain details and the frequency trace summary")
+		list    = flag.Bool("list", false, "list available benchmarks and exit")
+		compare = flag.Bool("compare", false, "also run the no-DVFS baseline and print savings")
+
+		split     = flag.Bool("split", false, "use the 5-domain (split front end) partition")
+		prefetch  = flag.Bool("prefetch", false, "enable the next-line L1D prefetcher")
+		noForward = flag.Bool("noforward", false, "disable store-to-load forwarding")
+		tokenRing = flag.Bool("tokenring", false, "use token-ring synchronization interfaces")
+		transmeta = flag.Bool("transmeta", false, "use Transmeta-style (idle-through) DVFS transitions")
+	)
+	flag.Parse()
+
+	if *list {
+		names := trace.Names()
+		sort.Strings(names)
+		for _, n := range names {
+			p, _ := trace.ByName(n)
+			fmt.Printf("%-14s %s\n", n, p.Suite)
+		}
+		return
+	}
+
+	machine := mcd.DefaultConfig()
+	machine.Seed = *seed
+	machine.SplitFrontEnd = *split
+	machine.Prefetch = *prefetch
+	machine.StoreForwarding = !*noForward
+	if *tokenRing {
+		machine.SyncPolicy = queue.SyncTokenRing
+	}
+	if *transmeta {
+		machine.Transitions = dvfs.TransmetaTransitions()
+	}
+	opt := experiment.Options{Instructions: *insts, Seed: *seed, Machine: &machine}
+	res, err := experiment.RunOne(*bench, experiment.Scheme(*scheme), opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcdsim:", err)
+		os.Exit(1)
+	}
+	printRun(res, *verbose)
+
+	if *compare && experiment.Scheme(*scheme) != experiment.SchemeNone {
+		base, err := experiment.RunOne(*bench, experiment.SchemeNone, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcdsim:", err)
+			os.Exit(1)
+		}
+		c := experimentCompare(base, res)
+		fmt.Printf("\nvs no-DVFS baseline:\n")
+		fmt.Printf("  energy saving        %7.2f%%\n", 100*c.save)
+		fmt.Printf("  perf degradation     %7.2f%%\n", 100*c.perf)
+		fmt.Printf("  EDP improvement      %7.2f%%\n", 100*c.edp)
+	}
+}
+
+type cmp struct{ save, perf, edp float64 }
+
+func experimentCompare(base, run *mcd.Result) cmp {
+	saveE := 1 - run.Metrics.EnergyJ/base.Metrics.EnergyJ
+	perf := float64(run.Metrics.ExecTime)/float64(base.Metrics.ExecTime) - 1
+	edp := 1 - run.Metrics.EDP()/base.Metrics.EDP()
+	return cmp{saveE, perf, edp}
+}
+
+func printRun(res *mcd.Result, verbose bool) {
+	fmt.Printf("benchmark        %s\n", res.Benchmark)
+	fmt.Printf("scheme           %s\n", res.Scheme)
+	fmt.Printf("instructions     %d\n", res.Metrics.Instructions)
+	fmt.Printf("exec time        %v\n", res.Metrics.ExecTime)
+	fmt.Printf("energy           %.4g J\n", res.Metrics.EnergyJ)
+	fmt.Printf("EDP              %.4g J*s\n", res.Metrics.EDP())
+	fmt.Printf("IPC              %.3f\n", res.IPC)
+	fmt.Printf("branch mispred   %.2f%%\n", 100*res.BranchMispredictRate)
+	fmt.Printf("L1D/L2/L1I miss  %.2f%% / %.2f%% / %.2f%%\n",
+		100*res.L1DMissRate, 100*res.L2MissRate, 100*res.L1IMissRate)
+
+	if !verbose {
+		return
+	}
+	fmt.Println()
+	fmt.Printf("%-9s %10s %12s %10s %8s %10s %8s\n",
+		"domain", "energy(J)", "mean f(MHz)", "cycles", "act", "occupancy", "retgts")
+	for _, name := range []string{mcd.NameFrontEnd, mcd.NameInt, mcd.NameFP, mcd.NameLS} {
+		d := res.Domains[name]
+		fmt.Printf("%-9s %10.4g %12.1f %10d %8.3f %10.2f %8d\n",
+			name, d.EnergyJ, d.MeanFreqMHz, d.Cycles, d.MeanActivity, d.MeanOccupancy, d.Transitions)
+	}
+	for _, name := range []string{mcd.NameInt, mcd.NameFP, mcd.NameLS} {
+		tr := res.FreqTrace[name]
+		if len(tr) == 0 {
+			continue
+		}
+		fmt.Printf("\n%s frequency trace (%d points):\n", name, len(tr))
+		step := len(tr)/20 + 1
+		for i := 0; i < len(tr); i += step {
+			rel := tr[i].MHz / 1000
+			fmt.Printf("  %10d insts  %6.0f MHz  %s\n", tr[i].Insts, tr[i].MHz, strings.Repeat("#", int(rel*40)))
+		}
+	}
+}

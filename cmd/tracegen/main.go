@@ -1,0 +1,153 @@
+// Command tracegen generates, saves, inspects, and replays synthetic
+// workload traces.
+//
+// Usage:
+//
+//	tracegen -bench gsm_decode -insts 500000 -o gsm.mcdt   # save a trace
+//	tracegen -stats gsm.mcdt                               # inspect it
+//	tracegen -replay gsm.mcdt -scheme adaptive             # simulate it
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcddvfs/internal/experiment"
+	"mcddvfs/internal/isa"
+	"mcddvfs/internal/mcd"
+	"mcddvfs/internal/trace"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "epic_decode", "benchmark to generate")
+		insts  = flag.Int64("insts", 500000, "instructions to generate")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		out    = flag.String("o", "", "write the trace to this file")
+		stats  = flag.String("stats", "", "print statistics for a trace file and exit")
+		replay = flag.String("replay", "", "simulate a saved trace file")
+		scheme = flag.String("scheme", "adaptive", "DVFS scheme for -replay")
+	)
+	flag.Parse()
+
+	switch {
+	case *stats != "":
+		if err := printStats(*stats); err != nil {
+			fail(err)
+		}
+	case *replay != "":
+		if err := replayTrace(*replay, *scheme); err != nil {
+			fail(err)
+		}
+	case *out != "":
+		if err := generate(*bench, *insts, *seed, *out); err != nil {
+			fail(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "tracegen: pass -o, -stats or -replay; see -h")
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}
+
+func generate(bench string, insts, seed int64, out string) error {
+	prof, err := trace.ByName(bench)
+	if err != nil {
+		return err
+	}
+	gen, err := trace.NewGenerator(prof, seed, insts)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := trace.Write(f, gen, insts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d instructions of %s to %s\n", n, bench, out)
+	return f.Close()
+}
+
+func openTrace(path string) (*trace.Reader, *os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return r, f, nil
+}
+
+func printStats(path string) error {
+	r, f, err := openTrace(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var counts [isa.NumClasses]int64
+	var branches, taken int64
+	for {
+		in, ok := r.Next()
+		if !ok {
+			break
+		}
+		counts[in.Class]++
+		if in.Class == isa.Branch {
+			branches++
+			if in.Taken {
+				taken++
+			}
+		}
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("trace %s: %q, %d instructions\n", path, r.Name(), r.Count())
+	for c := 0; c < isa.NumClasses; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		fmt.Printf("  %-7s %9d (%5.2f%%)\n", isa.Class(c), counts[c],
+			100*float64(counts[c])/float64(r.Count()))
+	}
+	if branches > 0 {
+		fmt.Printf("  taken branch fraction: %.3f\n", float64(taken)/float64(branches))
+	}
+	return nil
+}
+
+func replayTrace(path, scheme string) error {
+	r, f, err := openTrace(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cfg := mcd.DefaultConfig()
+	p, err := mcd.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := experiment.AttachScheme(p, experiment.Scheme(scheme), experiment.DefaultOptions()); err != nil {
+		return err
+	}
+	res, err := p.Run(r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %q (%d insts): time=%v energy=%.4gJ IPC=%.3f\n",
+		res.Benchmark, res.Metrics.Instructions, res.Metrics.ExecTime,
+		res.Metrics.EnergyJ, res.IPC)
+	return nil
+}

@@ -1,0 +1,66 @@
+package mcddvfs_test
+
+import (
+	"fmt"
+	"sort"
+
+	"mcddvfs"
+)
+
+// ExampleBenchmarks lists the bundled benchmark suite.
+func ExampleBenchmarks() {
+	names := mcddvfs.Benchmarks()
+	sort.Strings(names)
+	fmt.Println(len(names), "benchmarks, including", names[0])
+	// Output: 17 benchmarks, including adpcm_decode
+}
+
+// ExampleRun simulates a benchmark under the adaptive controller and
+// checks the run against the no-DVFS baseline.
+func ExampleRun() {
+	base, err := mcddvfs.Run(mcddvfs.RunSpec{
+		Benchmark: "gzip", Scheme: mcddvfs.SchemeNone,
+		Instructions: 50000, Seed: 1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	adaptive, err := mcddvfs.Run(mcddvfs.RunSpec{
+		Benchmark: "gzip", Scheme: mcddvfs.SchemeAdaptive,
+		Instructions: 50000, Seed: 1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	c := mcddvfs.CompareRuns(base, adaptive)
+	fmt.Println("saved energy:", c.EnergySaving > 0)
+	fmt.Println("slowdown under 10%:", c.PerfDegradation < 0.10)
+	// Output:
+	// saved energy: true
+	// slowdown under 10%: true
+}
+
+// ExampleStabilitySystem inspects the paper's Section-4 analytic model.
+func ExampleStabilitySystem() {
+	sys := mcddvfs.DefaultStabilitySystem()
+	fmt.Printf("stable at f_max: %v\n", sys.Stable(1))
+	fmt.Printf("damping at f=0.5: %.2f\n", sys.DampingRatio(0.5))
+	// Output:
+	// stable at f_max: true
+	// damping at f=0.5: 0.62
+}
+
+// ExampleDefaultController shows the paper's per-domain reference
+// occupancies and time delays.
+func ExampleDefaultController() {
+	for _, d := range []mcddvfs.ExecDomain{mcddvfs.DomainInt, mcddvfs.DomainFP, mcddvfs.DomainLS} {
+		cfg := mcddvfs.DefaultController(d)
+		fmt.Printf("%v: qref=%d Tm0=%.0f Tl0=%.0f\n", d, cfg.QRef, cfg.TM0, cfg.TL0)
+	}
+	// Output:
+	// INT: qref=7 Tm0=50 Tl0=8
+	// FP: qref=4 Tm0=50 Tl0=8
+	// LS: qref=4 Tm0=50 Tl0=8
+}

@@ -1,0 +1,52 @@
+// Fastswings reproduces the paper's motivating scenario: on workloads
+// whose activity swings faster than a fixed DVFS interval, the
+// event-driven adaptive controller reacts inside the swing while the
+// fixed-interval schemes (PID and attack/decay) only see the averaged
+// statistics at interval boundaries.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcddvfs"
+)
+
+func main() {
+	const insts = 300000
+	benches := []string{"adpcm_encode", "adpcm_decode", "g721_encode", "gsm_decode", "art"}
+	schemes := []mcddvfs.Scheme{mcddvfs.SchemeAdaptive, mcddvfs.SchemePID, mcddvfs.SchemeAttackDecay}
+
+	fmt.Println("EDP improvement over the no-DVFS baseline (fast-varying codecs):")
+	fmt.Printf("%-14s", "benchmark")
+	for _, s := range schemes {
+		fmt.Printf(" %13s", s)
+	}
+	fmt.Println()
+
+	sums := make([]float64, len(schemes))
+	for _, b := range benches {
+		base, err := mcddvfs.Run(mcddvfs.RunSpec{Benchmark: b, Scheme: mcddvfs.SchemeNone, Instructions: insts})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s", b)
+		for i, s := range schemes {
+			run, err := mcddvfs.Run(mcddvfs.RunSpec{Benchmark: b, Scheme: s, Instructions: insts})
+			if err != nil {
+				log.Fatal(err)
+			}
+			edp := mcddvfs.CompareRuns(base, run).EDPImprovement
+			sums[i] += edp
+			fmt.Printf(" %12.2f%%", 100*edp)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-14s", "MEAN")
+	for i := range schemes {
+		fmt.Printf(" %12.2f%%", 100*sums[i]/float64(len(benches)))
+	}
+	fmt.Println()
+	fmt.Println("\nThe paper reports the adaptive scheme clearly ahead of both")
+	fmt.Println("fixed-interval schemes on this group (Section 5).")
+}

@@ -1,0 +1,50 @@
+// Quickstart: simulate one benchmark on the MCD processor with the
+// paper's adaptive DVFS controller and compare it against the no-DVFS
+// baseline (all domains pinned at f_max).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcddvfs"
+)
+
+func main() {
+	const bench = "epic_decode"
+	const insts = 300000
+
+	base, err := mcddvfs.Run(mcddvfs.RunSpec{
+		Benchmark:    bench,
+		Scheme:       mcddvfs.SchemeNone,
+		Instructions: insts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	adaptive, err := mcddvfs.Run(mcddvfs.RunSpec{
+		Benchmark:    bench,
+		Scheme:       mcddvfs.SchemeAdaptive,
+		Instructions: insts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark: %s (%d instructions)\n\n", bench, insts)
+	fmt.Printf("%-22s %14s %14s\n", "", "baseline", "adaptive DVFS")
+	fmt.Printf("%-22s %14v %14v\n", "execution time", base.Metrics.ExecTime, adaptive.Metrics.ExecTime)
+	fmt.Printf("%-22s %13.4g J %13.4g J\n", "energy", base.Metrics.EnergyJ, adaptive.Metrics.EnergyJ)
+	fmt.Printf("%-22s %14.3f %14.3f\n", "IPC", base.IPC, adaptive.IPC)
+
+	c := mcddvfs.CompareRuns(base, adaptive)
+	fmt.Printf("\nenergy saving:        %6.2f%%\n", 100*c.EnergySaving)
+	fmt.Printf("performance cost:     %6.2f%%\n", 100*c.PerfDegradation)
+	fmt.Printf("EDP improvement:      %6.2f%%\n", 100*c.EDPImprovement)
+
+	fmt.Println("\nper-domain mean frequency under adaptive control:")
+	for _, d := range []string{"INT", "FP", "LS"} {
+		fmt.Printf("  %-4s %7.1f MHz (%d retargets)\n",
+			d, adaptive.Domains[d].MeanFreqMHz, adaptive.Domains[d].Transitions)
+	}
+}

@@ -1,0 +1,51 @@
+// Stability walks through the paper's Section-4 analysis: how the two
+// basic time delays (T_m0 for the level signal, T_l0 for the slope
+// signal) shape the closed loop's damping, overshoot and settling time,
+// and why the paper recommends T_m0 ≈ 2–8 × T_l0 (Remark 3).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcddvfs"
+)
+
+func main() {
+	fmt.Println("Damping and transient response vs the delay ratio T_m0/T_l0")
+	fmt.Println("(analytic, linearized loop at the f = f_max operating point):")
+	fmt.Printf("%8s %8s %10s %12s %12s %8s\n", "Tm0", "Tl0", "damping ξ", "overshoot", "settle", "in band")
+
+	for _, ratio := range []float64{0.5, 1, 2, 4, 8, 16, 32} {
+		s := mcddvfs.DefaultStabilitySystem()
+		s.TL0 = 10
+		s.TM0 = 10 * ratio
+		// Scale γ so K_l sits at the paper's "typical" 0.5 regardless
+		// of the ratio, isolating the ratio's effect.
+		s.Gamma = 0.5 * s.TL0 / (s.L * s.K(1) * s.Step)
+		band := ""
+		if s.Remark3OK(1) {
+			band = "  <- Remark 3"
+		}
+		fmt.Printf("%8.0f %8.0f %10.2f %11.1f%% %9.0f per %s\n",
+			s.TM0, s.TL0, s.DampingRatio(1), 100*s.Overshoot(1), s.SettlingTime(1), band)
+	}
+
+	fmt.Println("\nRK4 integration of the nonlinear loop: workload step of +0.25")
+	fmt.Println("service-rate units at t=0 from equilibrium at f = 0.5:")
+	s := mcddvfs.DefaultStabilitySystem()
+	tr, err := s.StepResponse(0.5, 0.25, 0.5, 30000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	met := s.Analyze(tr)
+	fmt.Printf("  peak queue excursion: %+.2f entries above q_ref\n", met.PeakQ)
+	fmt.Printf("  settling time:        %.0f sampling periods\n", met.SettleTime)
+	fmt.Printf("  final frequency:      %.3f (normalized)\n", met.FinalF)
+
+	step := len(tr) / 16
+	fmt.Println("\n  t(periods)   queue     f")
+	for i := 0; i < len(tr); i += step {
+		fmt.Printf("  %9.0f %8.2f %6.3f\n", tr[i].T, tr[i].Q, tr[i].F)
+	}
+}

@@ -1,0 +1,3 @@
+module mcddvfs
+
+go 1.22

@@ -1,0 +1,156 @@
+package baselines
+
+import (
+	"testing"
+
+	"mcddvfs/internal/clock"
+	"mcddvfs/internal/control"
+	"mcddvfs/internal/isa"
+)
+
+// tickAll drives one sampling tick through all three ports in domain
+// order, as the simulator does, and returns the decisions.
+func tickAll(ports [isa.NumExecDomains]*GlobalPort, now clock.Time, occ [isa.NumExecDomains]int, cur float64) (targets [isa.NumExecDomains]float64, changed [isa.NumExecDomains]bool) {
+	for d := 0; d < isa.NumExecDomains; d++ {
+		targets[d], changed[d] = ports[d].Observe(now, occ[d], cur)
+	}
+	return targets, changed
+}
+
+func globalPorts(cfg control.Config) [isa.NumExecDomains]*GlobalPort {
+	g := NewGlobal(cfg)
+	var ports [isa.NumExecDomains]*GlobalPort
+	for d := 0; d < isa.NumExecDomains; d++ {
+		ports[d] = g.Port(isa.ExecDomain(d))
+	}
+	return ports
+}
+
+func fastGlobalCfg() control.Config {
+	cfg := control.DefaultConfig(isa.DomainFP)
+	cfg.TM0 = 5
+	cfg.TL0 = 3
+	cfg.SwitchTime = 0
+	cfg.SignalScaledDelay = false
+	cfg.ScaleDownCaution = false
+	return cfg
+}
+
+func TestGlobalFollowsBusiestDomain(t *testing.T) {
+	ports := globalPorts(fastGlobalCfg())
+	now := clock.Time(0)
+	// INT empty, FP empty, LS saturated: the coupled decision must
+	// track the busiest queue and raise frequency, not lower it.
+	var fired bool
+	var target float64
+	for i := 0; i < 20 && !fired; i++ {
+		now += 4 * clock.Nanosecond
+		targets, changed := tickAll(ports, now, [isa.NumExecDomains]int{0, 0, 14}, 500)
+		for d := 0; d < isa.NumExecDomains; d++ {
+			if changed[d] {
+				fired = true
+				target = targets[d]
+			}
+		}
+	}
+	if !fired {
+		t.Fatal("global controller never acted")
+	}
+	if target <= 500 {
+		t.Errorf("coupled target %g should rise with a saturated LS queue", target)
+	}
+}
+
+func TestGlobalBroadcastsToAllPorts(t *testing.T) {
+	ports := globalPorts(fastGlobalCfg())
+	now := clock.Time(0)
+	seen := [isa.NumExecDomains]bool{}
+	var first [isa.NumExecDomains]float64
+	for i := 0; i < 40; i++ {
+		now += 4 * clock.Nanosecond
+		targets, changed := tickAll(ports, now, [isa.NumExecDomains]int{12, 12, 12}, 500)
+		for d := 0; d < isa.NumExecDomains; d++ {
+			if changed[d] && !seen[d] {
+				seen[d] = true
+				first[d] = targets[d]
+			}
+		}
+		if seen[0] && seen[1] && seen[2] {
+			break
+		}
+	}
+	for d := 0; d < isa.NumExecDomains; d++ {
+		if !seen[d] {
+			t.Fatalf("port %d never received the coupled decision", d)
+		}
+	}
+	if first[0] != first[1] || first[1] != first[2] {
+		t.Errorf("ports disagree on the coupled target: %v", first)
+	}
+}
+
+func TestGlobalRelaysEachDecisionOnce(t *testing.T) {
+	ports := globalPorts(fastGlobalCfg())
+	now := clock.Time(0)
+	changes := 0
+	for i := 0; i < 200; i++ {
+		now += 4 * clock.Nanosecond
+		// Saturated queues: the inner controller keeps stepping up
+		// until f_max; each decision must surface exactly once per
+		// port.
+		_, changed := tickAll(ports, now, [isa.NumExecDomains]int{15, 15, 15}, 990)
+		for d := 0; d < isa.NumExecDomains; d++ {
+			if changed[d] {
+				changes++
+			}
+		}
+	}
+	if changes == 0 {
+		t.Fatal("no decisions")
+	}
+	// Drain in-flight relays with quiet ticks (occupancy at the
+	// reference cannot trigger new decisions).
+	qref := fastGlobalCfg().QRef
+	for i := 0; i < 3; i++ {
+		now += 4 * clock.Nanosecond
+		_, changed := tickAll(ports, now, [isa.NumExecDomains]int{qref, qref, qref}, 990)
+		for d := 0; d < isa.NumExecDomains; d++ {
+			if changed[d] {
+				changes++
+			}
+		}
+	}
+	if changes%isa.NumExecDomains != 0 {
+		t.Errorf("changes (%d) not a multiple of the port count: some port saw a decision twice or never", changes)
+	}
+}
+
+func TestGlobalReset(t *testing.T) {
+	ports := globalPorts(fastGlobalCfg())
+	now := clock.Time(0)
+	for i := 0; i < 20; i++ {
+		now += 4 * clock.Nanosecond
+		tickAll(ports, now, [isa.NumExecDomains]int{12, 12, 12}, 500)
+	}
+	for d := 0; d < isa.NumExecDomains; d++ {
+		ports[d].Reset()
+	}
+	// After reset no stale decision must leak out on a quiet queue.
+	qref := fastGlobalCfg().QRef
+	for i := 0; i < 3; i++ {
+		now += 4 * clock.Nanosecond
+		_, changed := tickAll(ports, now, [isa.NumExecDomains]int{qref, qref, qref}, 500)
+		for d := 0; d < isa.NumExecDomains; d++ {
+			if changed[d] {
+				t.Fatal("stale decision after reset")
+			}
+		}
+	}
+}
+
+func TestGlobalName(t *testing.T) {
+	ports := globalPorts(fastGlobalCfg())
+	if ports[0].Name() != "global" {
+		t.Error("bad name")
+	}
+}

@@ -1,0 +1,80 @@
+package control
+
+// This file models the hardware cost of the DVFS decision logic
+// (Figure 5 and the Section-3.1 discussion). The paper argues the
+// adaptive scheme needs only book-keeping hardware — an adder, a
+// comparator, a small FSM and a delay counter per signal — while the
+// fixed-interval schemes additionally need arithmetic to compute a new
+// voltage/frequency setting each interval (multipliers/dividers or
+// lookup tables for the PID of [23], profile arithmetic for [9]).
+// Gate counts below use standard synthesis rules of thumb; they are for
+// *relative* comparison, exactly as the paper uses them.
+
+// HardwareBudget itemizes the decision-logic hardware of a controller.
+type HardwareBudget struct {
+	Scheme string
+	// Adders is a list of adder bit-widths.
+	Adders []int
+	// Comparators is a list of comparator bit-widths.
+	Comparators []int
+	// Counters is a list of counter bit-widths.
+	Counters []int
+	// FSMStates is the total number of FSM states across signals.
+	FSMStates int
+	// Multipliers is a list of multiplier operand widths (square
+	// arrays assumed).
+	Multipliers []int
+	// LookupBits is ROM/LUT capacity in bits.
+	LookupBits int
+	// Registers is extra storage in bits (accumulated error terms,
+	// interval statistics, coefficient registers).
+	Registers int
+}
+
+// Gate-count rules of thumb (NAND2-equivalent gates).
+const (
+	gatesPerAdderBit      = 7  // ripple-carry full adder
+	gatesPerComparatorBit = 5  // magnitude comparator slice
+	gatesPerCounterBit    = 8  // flop + increment logic
+	gatesPerFSMState      = 12 // state flops + next-state logic share
+	gatesPerMultBitSq     = 9  // array multiplier cell, per bit^2
+	gatesPerLookupBit     = 1  // ROM bit
+	gatesPerRegisterBit   = 6  // flop
+)
+
+// Gates estimates the NAND2-equivalent gate count.
+func (h HardwareBudget) Gates() int {
+	g := 0
+	for _, b := range h.Adders {
+		g += b * gatesPerAdderBit
+	}
+	for _, b := range h.Comparators {
+		g += b * gatesPerComparatorBit
+	}
+	for _, b := range h.Counters {
+		g += b * gatesPerCounterBit
+	}
+	g += h.FSMStates * gatesPerFSMState
+	for _, b := range h.Multipliers {
+		g += b * b * gatesPerMultBitSq
+	}
+	g += h.LookupBits * gatesPerLookupBit
+	g += h.Registers * gatesPerRegisterBit
+	return g
+}
+
+// AdaptiveHardware is the Figure-5 budget for one domain's adaptive
+// controller: per queue signal a 6-bit adder (queue sizes ≈ 20 < 2^6),
+// a 7-bit comparator against the deviation window, a 5-state FSM and an
+// 8-bit time-delay counter (delay 256 max), plus a previous-occupancy
+// register for the slope signal and a tiny 2-bit scheduler FSM.
+func AdaptiveHardware() HardwareBudget {
+	return HardwareBudget{
+		Scheme:      "adaptive",
+		Adders:      []int{6, 6},
+		Comparators: []int{7, 7},
+		Counters:    []int{8, 8},
+		FSMStates:   5 + 5 + 2,
+		Registers:   6, // q_{i-1} latch
+	}
+}

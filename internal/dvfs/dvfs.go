@@ -1,0 +1,144 @@
+// Package dvfs models the voltage/frequency actuation machinery of the
+// MCD processor: the discrete operating-point grid, the linear V–f map,
+// and the transition-cost model of Table 1 (73.3 ns/MHz frequency slew,
+// 7 ns per 2.86 mV voltage step, XScale-style execute-through
+// transitions).
+package dvfs
+
+import (
+	"fmt"
+	"math"
+
+	"mcddvfs/internal/clock"
+)
+
+// Range is the controllable operating envelope of one clock domain.
+type Range struct {
+	// MinMHz and MaxMHz bound the frequency (Table 1: 250–1000 MHz).
+	MinMHz, MaxMHz float64
+	// MinV and MaxV bound the supply voltage (Table 1: 0.65–1.20 V).
+	MinV, MaxV float64
+	// Steps is the number of discrete frequency steps spanning the
+	// range. The paper uses a step of ~2.3 MHz, "so it takes 320 steps
+	// to traverse the total frequency/voltage range".
+	Steps int
+}
+
+// Default returns the Table-1 operating range.
+func Default() Range {
+	return Range{MinMHz: 250, MaxMHz: 1000, MinV: 0.65, MaxV: 1.20, Steps: 320}
+}
+
+// Validate checks the range for consistency.
+func (r Range) Validate() error {
+	if r.MinMHz <= 0 || r.MaxMHz <= r.MinMHz {
+		return fmt.Errorf("dvfs: bad frequency range [%g,%g]", r.MinMHz, r.MaxMHz)
+	}
+	if r.MinV <= 0 || r.MaxV <= r.MinV {
+		return fmt.Errorf("dvfs: bad voltage range [%g,%g]", r.MinV, r.MaxV)
+	}
+	if r.Steps < 1 {
+		return fmt.Errorf("dvfs: non-positive step count %d", r.Steps)
+	}
+	return nil
+}
+
+// StepMHz returns the frequency granularity of one DVFS step.
+func (r Range) StepMHz() float64 { return (r.MaxMHz - r.MinMHz) / float64(r.Steps) }
+
+// StepV returns the voltage granularity of one DVFS step.
+func (r Range) StepV() float64 { return (r.MaxV - r.MinV) / float64(r.Steps) }
+
+// Clamp bounds f to the range.
+func (r Range) Clamp(f float64) float64 {
+	if f < r.MinMHz {
+		return r.MinMHz
+	}
+	if f > r.MaxMHz {
+		return r.MaxMHz
+	}
+	return f
+}
+
+// Quantize snaps f onto the discrete operating grid (and into range).
+func (r Range) Quantize(f float64) float64 {
+	f = r.Clamp(f)
+	step := r.StepMHz()
+	n := math.Round((f - r.MinMHz) / step)
+	return r.MinMHz + n*step
+}
+
+// Step moves f by n grid steps (negative = down), staying in range.
+func (r Range) Step(f float64, n int) float64 {
+	return r.Quantize(f + float64(n)*r.StepMHz())
+}
+
+// VoltageFor returns the supply voltage required for frequency f. The
+// map is linear across the envelope, matching the paired Table-1 steps
+// (one frequency step always moves one voltage step).
+func (r Range) VoltageFor(f float64) float64 {
+	f = r.Clamp(f)
+	frac := (f - r.MinMHz) / (r.MaxMHz - r.MinMHz)
+	return r.MinV + frac*(r.MaxV-r.MinV)
+}
+
+// RelativeFreq returns f normalized to the maximum frequency (the
+// paper's "relative frequency using f_max as the base").
+func (r Range) RelativeFreq(f float64) float64 { return r.Clamp(f) / r.MaxMHz }
+
+// TransitionModel is the physical cost model of a frequency/voltage
+// change.
+type TransitionModel struct {
+	// FreqSlew is the time to move the frequency by 1 MHz
+	// (Table 1: 73.3 ns/MHz).
+	FreqSlew clock.Time
+	// VoltSlewPerStep is the time to move the voltage by one grid step
+	// (Table 1: 7 ns per 2.86 mV step).
+	VoltSlewPerStep clock.Time
+	// Style is XScale (execute through) or Transmeta (idle through).
+	Style clock.TransitionStyle
+	// EnergyPerTransitionJ is the regulator switching-energy cost of
+	// one transition. The paper (and most DVFS studies) ignores it
+	// because the regulator capacitors are small; it is exposed for
+	// ablation studies.
+	EnergyPerTransitionJ float64
+}
+
+// DefaultTransitions returns the Table-1 XScale-style model.
+func DefaultTransitions() TransitionModel {
+	return TransitionModel{
+		FreqSlew:        clock.Time(73.3 * float64(clock.Nanosecond) / 1), // per MHz
+		VoltSlewPerStep: 7 * clock.Nanosecond,
+		Style:           clock.XScale,
+	}
+}
+
+// TransmetaTransitions returns a coarse-grained Transmeta-style model:
+// the same physical slew rates, but the domain idles during the change
+// (the paper's Section 3 discussion of the two DVFS families).
+func TransmetaTransitions() TransitionModel {
+	m := DefaultTransitions()
+	m.Style = clock.Transmeta
+	return m
+}
+
+// SlewPerMHz returns the effective per-MHz transition time: frequency
+// and voltage slew concurrently, so the slower of the two rates
+// dominates. steps/MHz converts the voltage rate onto the frequency
+// axis.
+func (m TransitionModel) SlewPerMHz(r Range) clock.Time {
+	vPerMHz := clock.Time(float64(m.VoltSlewPerStep) / r.StepMHz())
+	if vPerMHz > m.FreqSlew {
+		return vPerMHz
+	}
+	return m.FreqSlew
+}
+
+// TimeFor returns the duration of a transition of df MHz (sign
+// ignored).
+func (m TransitionModel) TimeFor(r Range, df float64) clock.Time {
+	if df < 0 {
+		df = -df
+	}
+	return clock.Time(float64(m.SlewPerMHz(r)) * df)
+}

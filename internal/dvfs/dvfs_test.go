@@ -1,0 +1,157 @@
+package dvfs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mcddvfs/internal/clock"
+)
+
+func TestDefaultRangeMatchesTable1(t *testing.T) {
+	r := Default()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.MinMHz != 250 || r.MaxMHz != 1000 || r.MinV != 0.65 || r.MaxV != 1.20 || r.Steps != 320 {
+		t.Errorf("default range %+v does not match Table 1", r)
+	}
+	// ~2.3 MHz per step ("320 steps to traverse the total range").
+	if s := r.StepMHz(); math.Abs(s-2.34375) > 1e-9 {
+		t.Errorf("StepMHz = %g, want 2.34375", s)
+	}
+}
+
+func TestVoltageMapEndpointsAndMonotonic(t *testing.T) {
+	r := Default()
+	if v := r.VoltageFor(250); math.Abs(v-0.65) > 1e-12 {
+		t.Errorf("V(250MHz) = %g, want 0.65", v)
+	}
+	if v := r.VoltageFor(1000); math.Abs(v-1.20) > 1e-12 {
+		t.Errorf("V(1000MHz) = %g, want 1.20", v)
+	}
+	prev := 0.0
+	for f := 250.0; f <= 1000; f += 10 {
+		v := r.VoltageFor(f)
+		if v < prev {
+			t.Fatalf("voltage map not monotonic at %g MHz", f)
+		}
+		prev = v
+	}
+	// Out-of-range frequencies clamp.
+	if r.VoltageFor(5000) != 1.20 || r.VoltageFor(1) != 0.65 {
+		t.Error("VoltageFor did not clamp")
+	}
+}
+
+func TestQuantizeIdempotentAndOnGrid(t *testing.T) {
+	r := Default()
+	f := func(raw uint16) bool {
+		x := 200 + float64(raw%900) + float64(raw%7)/7.0
+		q := r.Quantize(x)
+		if q < r.MinMHz || q > r.MaxMHz {
+			return false
+		}
+		// Idempotent.
+		if math.Abs(r.Quantize(q)-q) > 1e-9 {
+			return false
+		}
+		// On grid.
+		n := (q - r.MinMHz) / r.StepMHz()
+		return math.Abs(n-math.Round(n)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepWalksTheGrid(t *testing.T) {
+	r := Default()
+	f := r.MinMHz
+	for i := 0; i < r.Steps; i++ {
+		f = r.Step(f, 1)
+	}
+	if math.Abs(f-r.MaxMHz) > 1e-6 {
+		t.Errorf("after %d up-steps f = %g, want %g", r.Steps, f, r.MaxMHz)
+	}
+	// Saturates at the top.
+	if g := r.Step(f, 5); math.Abs(g-r.MaxMHz) > 1e-6 {
+		t.Errorf("step above max = %g", g)
+	}
+	// Walk all the way down.
+	for i := 0; i < r.Steps+10; i++ {
+		f = r.Step(f, -1)
+	}
+	if math.Abs(f-r.MinMHz) > 1e-6 {
+		t.Errorf("after down-steps f = %g, want %g", f, r.MinMHz)
+	}
+}
+
+func TestDoubleStep(t *testing.T) {
+	r := Default()
+	f0 := r.Quantize(500)
+	if got, want := r.Step(f0, 2), r.Step(r.Step(f0, 1), 1); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Step(2) = %g, want %g", got, want)
+	}
+}
+
+func TestRelativeFreq(t *testing.T) {
+	r := Default()
+	if rf := r.RelativeFreq(1000); rf != 1 {
+		t.Errorf("RelativeFreq(fmax) = %g, want 1", rf)
+	}
+	if rf := r.RelativeFreq(250); rf != 0.25 {
+		t.Errorf("RelativeFreq(fmin) = %g, want 0.25", rf)
+	}
+}
+
+func TestValidateCatchesBadRanges(t *testing.T) {
+	bad := []Range{
+		{MinMHz: 0, MaxMHz: 100, MinV: 1, MaxV: 2, Steps: 10},
+		{MinMHz: 100, MaxMHz: 50, MinV: 1, MaxV: 2, Steps: 10},
+		{MinMHz: 100, MaxMHz: 200, MinV: 2, MaxV: 1, Steps: 10},
+		{MinMHz: 100, MaxMHz: 200, MinV: 1, MaxV: 2, Steps: 0},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestTransitionTimes(t *testing.T) {
+	r := Default()
+	m := DefaultTransitions()
+	// Frequency slew (73.3 ns/MHz) dominates the voltage slew
+	// (7 ns / 2.34 MHz ≈ 3 ns/MHz).
+	if got := m.SlewPerMHz(r); got != clock.Time(73.3*float64(clock.Nanosecond)) {
+		t.Errorf("SlewPerMHz = %v", got)
+	}
+	// Full-range transition: 750 MHz * 73.3 ns ≈ 55 µs.
+	full := m.TimeFor(r, 750)
+	if full < 54*clock.Microsecond || full > 56*clock.Microsecond {
+		t.Errorf("full-range transition = %v, want ~55µs", full)
+	}
+	if m.TimeFor(r, -10) != m.TimeFor(r, 10) {
+		t.Error("TimeFor must ignore sign")
+	}
+}
+
+func TestTransitionStyles(t *testing.T) {
+	if DefaultTransitions().Style != clock.XScale {
+		t.Error("default transitions must be XScale-style")
+	}
+	if TransmetaTransitions().Style != clock.Transmeta {
+		t.Error("Transmeta transitions mis-styled")
+	}
+}
+
+func TestVoltageSlewDominatesWhenStepsAreFine(t *testing.T) {
+	// With a very fine frequency grid the voltage slew per MHz grows
+	// and must take over.
+	r := Range{MinMHz: 250, MaxMHz: 1000, MinV: 0.65, MaxV: 1.2, Steps: 320000}
+	m := DefaultTransitions()
+	if m.SlewPerMHz(r) <= m.FreqSlew {
+		t.Error("voltage slew should dominate for a fine grid")
+	}
+}

@@ -1,0 +1,318 @@
+// Package experiment is the harness that regenerates every table and
+// figure of the paper's evaluation (Section 5), mapping each artifact
+// to the simulator, controllers, and analyses in the other packages.
+// See DESIGN.md for the experiment index.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+
+	"mcddvfs/internal/baselines"
+	"mcddvfs/internal/control"
+	"mcddvfs/internal/isa"
+	"mcddvfs/internal/mcd"
+	"mcddvfs/internal/power"
+	"mcddvfs/internal/trace"
+)
+
+// Scheme names a DVFS control scheme.
+type Scheme string
+
+// The four evaluated schemes: the no-DVFS baseline (all domains at
+// f_max), the paper's adaptive controller, and the two fixed-interval
+// prior-work schemes.
+const (
+	SchemeNone        Scheme = "none"
+	SchemeAdaptive    Scheme = "adaptive"
+	SchemePID         Scheme = "pid"
+	SchemeAttackDecay Scheme = "attack-decay"
+	// SchemeGlobal is an extension beyond the paper's comparison: one
+	// adaptive decision engine driven by the most loaded queue, with
+	// all execution domains coupled to the same frequency. It
+	// approximates conventional synchronous-chip scaling and
+	// quantifies the benefit of per-domain MCD control.
+	SchemeGlobal Scheme = "global"
+)
+
+// ControlledSchemes lists the schemes that actually scale frequency.
+func ControlledSchemes() []Scheme {
+	return []Scheme{SchemeAdaptive, SchemePID, SchemeAttackDecay}
+}
+
+// Options configures a harness run.
+type Options struct {
+	// Instructions per benchmark run. The paper simulates millions of
+	// instructions; half a million is enough for every trend here and
+	// keeps the full matrix under a minute.
+	Instructions int64
+	// Seed for trace generation and clock jitter.
+	Seed int64
+	// Benchmarks restricts the suite (nil = all 17).
+	Benchmarks []string
+	// PIDIntervalTicks overrides the PID decision interval (0 = the
+	// 2500-tick default) — used by the Table-3 sweep.
+	PIDIntervalTicks int
+	// MutateAdaptive, when non-nil, adjusts each adaptive controller's
+	// configuration — used by the ablation experiments.
+	MutateAdaptive func(*control.Config)
+	// Machine, when non-nil, replaces the Table-1 machine config.
+	Machine *mcd.Config
+}
+
+// DefaultOptions returns the harness defaults.
+func DefaultOptions() Options {
+	return Options{Instructions: 500000, Seed: 1}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Instructions <= 0 {
+		o.Instructions = 500000
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = trace.Names()
+	}
+	return o
+}
+
+func (o Options) machine() mcd.Config {
+	if o.Machine != nil {
+		return *o.Machine
+	}
+	cfg := mcd.DefaultConfig()
+	cfg.Seed = o.Seed
+	// Bound retained occupancy samples: classification and Figure 8
+	// need at most ~130K samples (524 µs at 250 MHz); controllers run
+	// off live values regardless.
+	cfg.SampleLimit = 1 << 17
+	return cfg
+}
+
+// RunOne simulates a single bundled benchmark under one scheme.
+func RunOne(bench string, scheme Scheme, opt Options) (*mcd.Result, error) {
+	prof, err := trace.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	return RunProfile(prof, scheme, opt)
+}
+
+// RunProfile simulates an arbitrary workload profile under one scheme.
+func RunProfile(prof trace.Profile, scheme Scheme, opt Options) (*mcd.Result, error) {
+	opt = opt.withDefaults()
+	cfg := opt.machine()
+	gen, err := trace.NewGenerator(prof, opt.Seed+11, opt.Instructions)
+	if err != nil {
+		return nil, err
+	}
+	p, err := mcd.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := attach(p, scheme, opt); err != nil {
+		return nil, err
+	}
+	res, err := p.Run(gen)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", prof.Name, scheme, err)
+	}
+	res.Scheme = string(scheme)
+	return res, nil
+}
+
+// AttachScheme wires the controllers for a scheme onto an existing
+// processor — the hook for tools that build their own Processor (e.g.
+// trace replay).
+func AttachScheme(p *mcd.Processor, scheme Scheme, opt Options) error {
+	return attach(p, scheme, opt)
+}
+
+// attach wires one controller instance per controlled domain. Each
+// scheme uses the paper's per-domain reference occupancies (7 for INT,
+// 4 for FP/LS) so the comparison is apples-to-apples. On machines with
+// a DVFS-controllable dispatch domain, the adaptive scheme also drives
+// it from the fetch-queue occupancy.
+func attach(p *mcd.Processor, scheme Scheme, opt Options) error {
+	if opt.Machine != nil && opt.Machine.ControlFrontEnd && scheme == SchemeAdaptive {
+		cfg := control.DefaultConfig(isa.DomainFP) // qref 4 on the 16-entry fetch queue
+		if opt.MutateAdaptive != nil {
+			opt.MutateAdaptive(&cfg)
+		}
+		p.AttachFrontEnd(control.NewAdaptive(cfg))
+	}
+	if scheme == SchemeGlobal {
+		g := baselines.NewGlobal(control.DefaultConfig(isa.DomainFP))
+		for d := 0; d < isa.NumExecDomains; d++ {
+			p.Attach(isa.ExecDomain(d), g.Port(isa.ExecDomain(d)))
+		}
+		return nil
+	}
+	for d := 0; d < isa.NumExecDomains; d++ {
+		dom := isa.ExecDomain(d)
+		switch scheme {
+		case SchemeNone:
+			// pinned at f_max
+		case SchemeAdaptive:
+			cfg := control.DefaultConfig(dom)
+			if opt.MutateAdaptive != nil {
+				opt.MutateAdaptive(&cfg)
+			}
+			p.Attach(dom, control.NewAdaptive(cfg))
+		case SchemePID:
+			cfg := baselines.DefaultPID()
+			if dom == isa.DomainInt {
+				cfg.QRef = 7
+			}
+			if opt.PIDIntervalTicks > 0 {
+				cfg.IntervalTicks = opt.PIDIntervalTicks
+			}
+			p.Attach(dom, baselines.NewPID(cfg))
+		case SchemeAttackDecay:
+			cfg := baselines.DefaultAttackDecay()
+			if dom == isa.DomainInt {
+				cfg.QRef = 7
+			}
+			p.Attach(dom, baselines.NewAttackDecay(cfg))
+		default:
+			return fmt.Errorf("experiment: unknown scheme %q", scheme)
+		}
+	}
+	return nil
+}
+
+// Matrix holds the benchmark × scheme result grid that Figures 9–11
+// share, so the expensive simulations run once.
+type Matrix struct {
+	Options    Options
+	Benchmarks []string
+	// Results[bench][scheme]
+	Results map[string]map[Scheme]*mcd.Result
+}
+
+// RunMatrix simulates every benchmark under every scheme (including
+// the baseline). Cells run in parallel — every simulation is an
+// independent, internally deterministic single-threaded machine, so
+// the matrix contents are identical to a serial run.
+func RunMatrix(opt Options) (*Matrix, error) {
+	opt = opt.withDefaults()
+	m := &Matrix{
+		Options:    opt,
+		Benchmarks: opt.Benchmarks,
+		Results:    make(map[string]map[Scheme]*mcd.Result, len(opt.Benchmarks)),
+	}
+	schemes := append([]Scheme{SchemeNone}, ControlledSchemes()...)
+	type cell struct {
+		bench  string
+		scheme Scheme
+	}
+	var cells []cell
+	for _, b := range opt.Benchmarks {
+		m.Results[b] = make(map[Scheme]*mcd.Result, len(schemes))
+		for _, s := range schemes {
+			cells = append(cells, cell{b, s})
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, c := range cells {
+		wg.Add(1)
+		go func(c cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := RunOne(c.bench, c.scheme, opt)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			if c.scheme != SchemeNone {
+				// Only baseline occupancy series feed the classifier;
+				// drop the rest to keep the full matrix small.
+				res.QueueSamples = nil
+			}
+			m.Results[c.bench][c.scheme] = res
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return m, nil
+}
+
+// Compare returns the paper's three metrics for one benchmark/scheme
+// cell against the no-DVFS baseline.
+func (m *Matrix) Compare(bench string, scheme Scheme) power.Comparison {
+	base := m.Results[bench][SchemeNone]
+	run := m.Results[bench][scheme]
+	return power.Compare(base.Metrics, run.Metrics)
+}
+
+// MeanComparison averages a scheme's metrics over a benchmark subset
+// (nil = all).
+func (m *Matrix) MeanComparison(scheme Scheme, subset []string) power.Comparison {
+	if subset == nil {
+		subset = m.Benchmarks
+	}
+	var sum power.Comparison
+	for _, b := range subset {
+		c := m.Compare(b, scheme)
+		sum.EnergySaving += c.EnergySaving
+		sum.PerfDegradation += c.PerfDegradation
+		sum.EDPImprovement += c.EDPImprovement
+	}
+	n := float64(len(subset))
+	if n == 0 {
+		return power.Comparison{}
+	}
+	sum.EnergySaving /= n
+	sum.PerfDegradation /= n
+	sum.EDPImprovement /= n
+	return sum
+}
+
+// Report is one rendered table or figure.
+type Report struct {
+	ID    string
+	Title string
+	// Lines are preformatted body rows.
+	Lines []string
+	// Notes carry the paper-expected-vs-measured commentary recorded
+	// in EXPERIMENTS.md.
+	Notes []string
+}
+
+// WriteTo renders the report as text.
+func (r *Report) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "==== %s: %s ====\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the report to a string.
+func (r *Report) String() string {
+	var sb strings.Builder
+	r.WriteTo(&sb) //nolint:errcheck // strings.Builder cannot fail
+	return sb.String()
+}

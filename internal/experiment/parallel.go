@@ -1,0 +1,39 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEachParallel runs fn(0..n-1) across GOMAXPROCS workers and returns
+// the first error. Every task must be independent; the experiment
+// harness qualifies because each simulation is a self-contained,
+// internally deterministic machine.
+func forEachParallel(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := fn(i); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,175 @@
+// Package isa defines the micro-operation model consumed by the MCD
+// processor simulator. It plays the role of the Alpha ISA subset that
+// SimpleScalar executes in the paper's infrastructure: each dynamic
+// instruction carries an operation class, data dependencies expressed as
+// producer distances in program order, and class-specific payload (branch
+// outcome, memory address).
+package isa
+
+import "fmt"
+
+// Class identifies the functional class of a micro-operation.
+type Class uint8
+
+// Operation classes. The set mirrors SimpleScalar's functional-unit
+// classes for the machine configuration in Table 1 of the paper.
+const (
+	IntALU Class = iota // integer add/logic/shift/compare
+	IntMult
+	IntDiv
+	FPAdd
+	FPMult
+	FPDiv
+	FPSqrt
+	Load
+	Store
+	Branch // conditional branch, resolved in the integer core
+	Nop
+	numClasses
+)
+
+// NumClasses is the number of distinct operation classes.
+const NumClasses = int(numClasses)
+
+var classNames = [...]string{
+	IntALU: "ialu", IntMult: "imult", IntDiv: "idiv",
+	FPAdd: "fadd", FPMult: "fmult", FPDiv: "fdiv", FPSqrt: "fsqrt",
+	Load: "load", Store: "store", Branch: "branch", Nop: "nop",
+}
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Valid reports whether c is a defined class.
+func (c Class) Valid() bool { return c < numClasses }
+
+// ExecDomain identifies the clock domain in which a class executes.
+// The front end is not an ExecDomain: every instruction passes through
+// it, but none executes there.
+type ExecDomain uint8
+
+// Execution domains, matching the 4-domain partition of Semeraro et al.
+// (Figure 1 of the paper) minus the front end.
+const (
+	DomainInt ExecDomain = iota
+	DomainFP
+	DomainLS
+	numExecDomains
+)
+
+// NumExecDomains is the number of DVFS-controlled execution domains.
+const NumExecDomains = int(numExecDomains)
+
+var domainNames = [...]string{DomainInt: "INT", DomainFP: "FP", DomainLS: "LS"}
+
+// String implements fmt.Stringer.
+func (d ExecDomain) String() string {
+	if int(d) < len(domainNames) {
+		return domainNames[d]
+	}
+	return fmt.Sprintf("ExecDomain(%d)", uint8(d))
+}
+
+// Domain returns the execution domain for a class. Branches resolve in
+// the integer core; Nops are steered to the integer queue as well (they
+// occupy no functional unit but must retire in order).
+func (c Class) Domain() ExecDomain {
+	switch c {
+	case FPAdd, FPMult, FPDiv, FPSqrt:
+		return DomainFP
+	case Load, Store:
+		return DomainLS
+	default:
+		return DomainInt
+	}
+}
+
+// Latency returns the execution latency of the class in cycles of its
+// own domain, excluding cache behavior for memory operations (the LS
+// pipeline adds cache latencies on top of address generation).
+func (c Class) Latency() int {
+	switch c {
+	case IntALU, Branch, Nop:
+		return 1
+	case IntMult:
+		return 3
+	case IntDiv:
+		return 12
+	case FPAdd:
+		return 2
+	case FPMult:
+		return 4
+	case FPDiv:
+		return 12
+	case FPSqrt:
+		return 24
+	case Load, Store:
+		return 1 // address generation; memory latency added by the LS pipeline
+	default:
+		return 1
+	}
+}
+
+// Pipelined reports whether a unit executing this class can accept a new
+// operation every cycle. Divide and square root iterate in place.
+func (c Class) Pipelined() bool {
+	switch c {
+	case IntDiv, FPDiv, FPSqrt:
+		return false
+	default:
+		return true
+	}
+}
+
+// Inst is one dynamic micro-operation in a program trace.
+type Inst struct {
+	// PC is the synthetic program counter (byte address of the
+	// instruction), used by the branch predictor and I-cache.
+	PC uint64
+	// Class is the operation class.
+	Class Class
+	// Dep1 and Dep2 are producer distances: this instruction's operands
+	// are produced by the Dep-th previous instruction in program order.
+	// Zero means the operand is ready (immediate / long-dead producer).
+	Dep1, Dep2 uint32
+	// Taken is the architectural outcome of a Branch.
+	Taken bool
+	// Target is the branch target PC (meaningful when Taken).
+	Target uint64
+	// Addr is the effective memory address of a Load or Store.
+	Addr uint64
+}
+
+// HasOutput reports whether the instruction produces a register value
+// that later instructions can depend on.
+func (in *Inst) HasOutput() bool {
+	switch in.Class {
+	case Store, Branch, Nop:
+		return false
+	default:
+		return true
+	}
+}
+
+// IsFP reports whether the destination (if any) is a floating-point
+// register, which determines which physical register file it consumes.
+func (in *Inst) IsFP() bool {
+	switch in.Class {
+	case FPAdd, FPMult, FPDiv, FPSqrt:
+		return true
+	case Load:
+		// FP loads exist in real programs; the trace generator encodes
+		// them as plain loads. Treating all load results as integer
+		// registers slightly favors the INT register file, which is
+		// sized equally (72/72) in Table 1, so the approximation is
+		// immaterial to queue dynamics.
+		return false
+	default:
+		return false
+	}
+}

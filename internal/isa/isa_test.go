@@ -1,0 +1,96 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassDomains(t *testing.T) {
+	tests := []struct {
+		c    Class
+		want ExecDomain
+	}{
+		{IntALU, DomainInt}, {IntMult, DomainInt}, {IntDiv, DomainInt},
+		{FPAdd, DomainFP}, {FPMult, DomainFP}, {FPDiv, DomainFP}, {FPSqrt, DomainFP},
+		{Load, DomainLS}, {Store, DomainLS},
+		{Branch, DomainInt}, {Nop, DomainInt},
+	}
+	for _, tt := range tests {
+		if got := tt.c.Domain(); got != tt.want {
+			t.Errorf("%v.Domain() = %v, want %v", tt.c, got, tt.want)
+		}
+	}
+}
+
+func TestEveryClassHasPositiveLatency(t *testing.T) {
+	for c := Class(0); c.Valid(); c++ {
+		if c.Latency() <= 0 {
+			t.Errorf("%v.Latency() = %d, want > 0", c, c.Latency())
+		}
+	}
+}
+
+func TestEveryClassMapsToValidDomain(t *testing.T) {
+	f := func(raw uint8) bool {
+		c := Class(raw % uint8(NumClasses))
+		d := c.Domain()
+		return int(d) < NumExecDomains
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIterativeUnitsNotPipelined(t *testing.T) {
+	for _, c := range []Class{IntDiv, FPDiv, FPSqrt} {
+		if c.Pipelined() {
+			t.Errorf("%v should not be pipelined", c)
+		}
+	}
+	for _, c := range []Class{IntALU, IntMult, FPAdd, FPMult, Load, Store, Branch} {
+		if !c.Pipelined() {
+			t.Errorf("%v should be pipelined", c)
+		}
+	}
+}
+
+func TestHasOutput(t *testing.T) {
+	for _, tt := range []struct {
+		c    Class
+		want bool
+	}{
+		{IntALU, true}, {Load, true}, {FPMult, true},
+		{Store, false}, {Branch, false}, {Nop, false},
+	} {
+		in := Inst{Class: tt.c}
+		if got := in.HasOutput(); got != tt.want {
+			t.Errorf("%v.HasOutput() = %v, want %v", tt.c, got, tt.want)
+		}
+	}
+}
+
+func TestIsFP(t *testing.T) {
+	for _, tt := range []struct {
+		c    Class
+		want bool
+	}{
+		{FPAdd, true}, {FPSqrt, true}, {IntALU, false}, {Load, false},
+	} {
+		in := Inst{Class: tt.c}
+		if got := in.IsFP(); got != tt.want {
+			t.Errorf("%v.IsFP() = %v, want %v", tt.c, got, tt.want)
+		}
+	}
+}
+
+func TestClassAndDomainStrings(t *testing.T) {
+	if IntALU.String() != "ialu" || FPSqrt.String() != "fsqrt" {
+		t.Error("unexpected class names")
+	}
+	if DomainInt.String() != "INT" || DomainFP.String() != "FP" || DomainLS.String() != "LS" {
+		t.Error("unexpected domain names")
+	}
+	if Class(200).String() == "" || ExecDomain(200).String() == "" {
+		t.Error("out-of-range Stringers must not be empty")
+	}
+}

@@ -1,0 +1,41 @@
+package mcd
+
+import "mcddvfs/internal/clock"
+
+// Controller is a per-domain online DVFS decision engine. The simulator
+// calls Observe once per sampling-clock tick (250 MHz in Table 1) with
+// the occupancy of the domain's input queue and the domain's current
+// instantaneous frequency; the controller returns the frequency it
+// wants the domain to converge to.
+//
+// Both the paper's adaptive controller and the fixed-interval baselines
+// (attack/decay, PID) implement this interface; fixed-interval schemes
+// count sampling ticks internally to delimit their intervals.
+type Controller interface {
+	// Name identifies the control scheme in reports.
+	Name() string
+	// Observe processes one occupancy sample. If change is true the
+	// domain's target frequency is set to targetMHz (clamped and
+	// quantized by the actuation machinery).
+	Observe(now clock.Time, occupancy int, currentMHz float64) (targetMHz float64, change bool)
+	// Reset returns the controller to its initial state so one
+	// instance can be reused across runs.
+	Reset()
+}
+
+// FixedController pins a domain at a constant frequency; attaching no
+// controller is equivalent to FixedController at the initial frequency.
+type FixedController struct {
+	MHz float64
+}
+
+// Name implements Controller.
+func (f *FixedController) Name() string { return "fixed" }
+
+// Observe implements Controller.
+func (f *FixedController) Observe(clock.Time, int, float64) (float64, bool) {
+	return f.MHz, false
+}
+
+// Reset implements Controller.
+func (f *FixedController) Reset() {}

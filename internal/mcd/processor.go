@@ -1,0 +1,755 @@
+package mcd
+
+import (
+	"errors"
+	"fmt"
+
+	"mcddvfs/internal/bpred"
+	"mcddvfs/internal/cache"
+	"mcddvfs/internal/clock"
+	"mcddvfs/internal/isa"
+	"mcddvfs/internal/power"
+	"mcddvfs/internal/queue"
+	"mcddvfs/internal/trace"
+)
+
+// fetched is a front-end buffer entry: a fetched instruction plus its
+// branch prediction.
+type fetched struct {
+	inst       isa.Inst
+	predTaken  bool
+	predTarget uint64
+	mispredict bool
+}
+
+// Processor is one MCD machine instance. Create it with New, attach
+// controllers, then call Run exactly once. It is not safe for
+// concurrent use: determinism comes from single-threaded simulation.
+type Processor struct {
+	cfg Config
+
+	sched    *clock.Scheduler
+	fe       *clock.Domain
+	exec     [isa.NumExecDomains]*clock.Domain
+	sampling *clock.Domain
+
+	rob *rob
+	win *window
+
+	// feQueue sits between fetch and dispatch. In the 4-domain machine
+	// both stages share the FrontEnd clock and the queue has no
+	// synchronization window; in the split (5-domain, Iyer-Marculescu
+	// style) machine the fetch stage runs on its own clock and the
+	// queue synchronizes across the extra boundary.
+	feQueue  *queue.Queue[fetched]
+	fetchDom *clock.Domain // nil unless SplitFrontEnd
+	queues   [isa.NumExecDomains]*queue.Queue[*uop]
+	lsqCount int
+	// storeAddrs counts in-flight stores per 8-byte-aligned address,
+	// backing store-to-load forwarding.
+	storeAddrs map[uint64]int
+	forwarded  uint64
+	// inflight counts dispatched-but-uncommitted uops per domain,
+	// backing the deep-sleep idleness test.
+	inflight [isa.NumExecDomains]int
+
+	aluPool  [isa.NumExecDomains]*unitPool // simple units per domain
+	longPool [isa.NumExecDomains]*unitPool // mult/div(/sqrt) units
+
+	pred *bpred.Unit
+	mem  *cache.Hierarchy
+
+	meters map[string]*power.Meter
+
+	controllers [isa.NumExecDomains]Controller
+	samplers    [isa.NumExecDomains]*queue.Sampler
+	freqTrace   [isa.NumExecDomains][]FreqPoint
+	lastTraceF  [isa.NumExecDomains]float64
+
+	// Dispatch-domain control (5-domain machines with ControlFrontEnd).
+	feController Controller
+	feSampler    *queue.Sampler
+
+	src trace.Source
+
+	nextSeq      uint64
+	physIntFree  int
+	physFPFree   int
+	retired      int64
+	retiredByCls [isa.NumClasses]int64
+	branches     uint64
+	mispredicts  uint64
+	traceDone    bool
+	fetchBlocked clock.Time // no fetch before this time
+	// blockingBranch is a mispredicted branch whose resolution gates
+	// fetch; pendingMispredict covers the window between fetching such
+	// a branch and dispatching it.
+	blockingBranch    *uop
+	pendingMispredict bool
+
+	lastCommit clock.Time
+	ran        bool
+}
+
+// New builds a processor from cfg.
+func New(cfg Config) (*Processor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Processor{
+		cfg:         cfg,
+		rob:         newROB(cfg.ROBSize),
+		win:         newWindow(cfg.ROBSize + 1024),
+		pred:        bpred.DefaultUnit(),
+		mem:         cache.NewHierarchy(cfg.Cache),
+		meters:      make(map[string]*power.Meter, 4),
+		physIntFree: cfg.PhysInt,
+		physFPFree:  cfg.PhysFP,
+		nextSeq:     1, // seq 0 is the "operand ready" sentinel
+		storeAddrs:  make(map[uint64]int),
+	}
+
+	if cfg.ControlFrontEnd && !cfg.SplitFrontEnd {
+		return nil, fmt.Errorf("mcd: ControlFrontEnd requires SplitFrontEnd")
+	}
+	slew := cfg.Transitions.SlewPerMHz(cfg.Range)
+	feCfg := clock.DomainConfig{
+		Name: NameFrontEnd, FreqMHz: cfg.Range.MaxMHz,
+		JitterPS: cfg.JitterPS, Seed: cfg.Seed + 1,
+	}
+	if cfg.ControlFrontEnd {
+		feCfg.MinMHz = cfg.Range.MinMHz
+		feCfg.MaxMHz = cfg.Range.MaxMHz
+		feCfg.SlewPerMHz = slew
+		feCfg.Style = cfg.Transitions.Style
+	}
+	p.fe = clock.NewDomain(feCfg)
+	names := [isa.NumExecDomains]string{isa.DomainInt: NameInt, isa.DomainFP: NameFP, isa.DomainLS: NameLS}
+	for d := 0; d < isa.NumExecDomains; d++ {
+		p.exec[d] = clock.NewDomain(clock.DomainConfig{
+			Name: names[d], FreqMHz: cfg.Range.MaxMHz,
+			MinMHz: cfg.Range.MinMHz, MaxMHz: cfg.Range.MaxMHz,
+			SlewPerMHz: slew, JitterPS: cfg.JitterPS,
+			Style: cfg.Transitions.Style, Seed: cfg.Seed + 2 + int64(d),
+		})
+	}
+	p.sampling = clock.NewDomain(clock.DomainConfig{
+		Name: "sampling", FreqMHz: cfg.SamplingMHz, Seed: cfg.Seed + 9,
+	})
+	p.sched = clock.NewScheduler(p.fe, p.exec[0], p.exec[1], p.exec[2], p.sampling)
+
+	syncWin := cfg.SyncWindow()
+	feWin := clock.Time(0)
+	if cfg.SplitFrontEnd {
+		feWin = syncWin
+		p.fetchDom = clock.NewDomain(clock.DomainConfig{
+			Name: NameFetch, FreqMHz: cfg.Range.MaxMHz,
+			JitterPS: cfg.JitterPS, Seed: cfg.Seed + 7,
+		})
+		p.sched.Add(p.fetchDom)
+	}
+	p.feQueue = queue.NewWithPolicy[fetched]("FetchQ", cfg.FetchBuf, feWin, cfg.SyncPolicy)
+	p.queues[isa.DomainInt] = queue.NewWithPolicy[*uop](NameInt, cfg.IntQSize, syncWin, cfg.SyncPolicy)
+	p.queues[isa.DomainFP] = queue.NewWithPolicy[*uop](NameFP, cfg.FPQSize, syncWin, cfg.SyncPolicy)
+	p.queues[isa.DomainLS] = queue.NewWithPolicy[*uop](NameLS, cfg.LSQueue, syncWin, cfg.SyncPolicy)
+
+	p.aluPool[isa.DomainInt] = newUnitPool(cfg.IntALUs)
+	p.longPool[isa.DomainInt] = newUnitPool(cfg.IntMultDiv)
+	p.aluPool[isa.DomainFP] = newUnitPool(cfg.FPALUs)
+	p.longPool[isa.DomainFP] = newUnitPool(cfg.FPMultDiv)
+	p.aluPool[isa.DomainLS] = newUnitPool(cfg.MemPorts)
+	p.longPool[isa.DomainLS] = newUnitPool(1) // unused; keeps indexing uniform
+
+	for _, name := range []string{NameFrontEnd, NameInt, NameFP, NameLS} {
+		model := cfg.Power[name]
+		if name == NameFrontEnd && cfg.SplitFrontEnd {
+			// Split the front-end energy budget across the two new
+			// domains: fetch (I-cache + predictor) ~45%, dispatch
+			// (rename/ROB/commit) ~55%.
+			fetchModel := model
+			fetchModel.Name = NameFetch
+			fetchModel.SwitchedCapF *= 0.45
+			fetchModel.LeakagePerV *= 0.45
+			p.meters[NameFetch] = power.NewMeter(fetchModel)
+			model.SwitchedCapF *= 0.55
+			model.LeakagePerV *= 0.55
+		}
+		p.meters[name] = power.NewMeter(model)
+	}
+	for d := 0; d < isa.NumExecDomains; d++ {
+		p.samplers[d] = queue.NewSampler(cfg.SampleLimit)
+	}
+	p.feSampler = queue.NewSampler(cfg.SampleLimit)
+	return p, nil
+}
+
+// AttachFrontEnd installs a DVFS controller on the dispatch domain of a
+// split, ControlFrontEnd machine; the controller observes the fetch
+// queue's occupancy.
+func (p *Processor) AttachFrontEnd(c Controller) {
+	if !p.cfg.ControlFrontEnd {
+		panic("mcd: AttachFrontEnd requires Config.ControlFrontEnd")
+	}
+	p.feController = c
+}
+
+// Attach installs a DVFS controller on an execution domain. Passing nil
+// leaves the domain pinned at its initial (maximum) frequency.
+func (p *Processor) Attach(d isa.ExecDomain, c Controller) {
+	p.controllers[d] = c
+}
+
+// Domain exposes an execution domain's clock (for tests and tools).
+func (p *Processor) Domain(d isa.ExecDomain) *clock.Domain { return p.exec[d] }
+
+// Run simulates the instruction source to completion and returns the
+// result. Any trace.Source works: a synthetic Generator or a replayed
+// trace.Reader. A Processor can run only once.
+func (p *Processor) Run(src trace.Source) (*Result, error) {
+	if p.ran {
+		return nil, errors.New("mcd: Processor.Run called twice; create a new Processor per run")
+	}
+	p.ran = true
+	p.src = src
+
+	// Deadlock guard: the machine must commit something at least every
+	// 2 simulated milliseconds (worst-case memory-bound code commits
+	// thousands of times per ms).
+	const commitTimeout = 2 * clock.Millisecond
+
+	var now clock.Time
+	for {
+		d, t := p.sched.Step()
+		if d == nil {
+			return nil, errors.New("mcd: all clocks stopped")
+		}
+		now = t
+		switch d {
+		case p.fe:
+			p.frontEndCycle(now)
+		case p.fetchDom:
+			p.fetchCycle(now)
+		case p.exec[isa.DomainInt]:
+			p.execCycle(now, isa.DomainInt)
+		case p.exec[isa.DomainFP]:
+			p.execCycle(now, isa.DomainFP)
+		case p.exec[isa.DomainLS]:
+			p.execCycle(now, isa.DomainLS)
+		case p.sampling:
+			p.sampleCycle(now)
+		}
+		if p.traceDone && p.rob.empty() && p.feQueue.Empty() {
+			break
+		}
+		if now-p.lastCommit > commitTimeout {
+			return nil, fmt.Errorf("mcd: no commit progress since %v (now %v): likely scheduling deadlock", p.lastCommit, now)
+		}
+	}
+	return p.collect(now), nil
+}
+
+// feVoltage is the dispatch domain's supply: fixed at V_max unless the
+// domain is DVFS-controlled, in which case it tracks its frequency.
+func (p *Processor) feVoltage(now clock.Time) float64 {
+	if p.cfg.ControlFrontEnd {
+		return p.cfg.Range.VoltageFor(p.fe.FreqMHz(now))
+	}
+	return p.cfg.Range.MaxV
+}
+
+// frontEndCycle performs commit, (in the unified machine) fetch, and
+// dispatch for one front-end clock edge.
+func (p *Processor) frontEndCycle(now clock.Time) {
+	committed := p.commit(now)
+	fetchedN := 0
+	width := float64(p.cfg.RetireWidth + p.cfg.DecodeWidth)
+	if p.fetchDom == nil {
+		fetchedN = p.fetch(now)
+		width += float64(p.cfg.FetchWidth)
+	}
+	dispatched := p.dispatch(now)
+
+	act := float64(committed+fetchedN+dispatched) / width
+	m := p.meters[NameFrontEnd]
+	v := p.feVoltage(now)
+	m.Cycle(v, act)
+	m.Leak(now, v)
+}
+
+// fetchCycle is the split machine's dedicated fetch-domain cycle.
+func (p *Processor) fetchCycle(now clock.Time) {
+	n := p.fetch(now)
+	m := p.meters[NameFetch]
+	// The fetch domain always runs at f_max / V_max.
+	m.Cycle(p.cfg.Range.MaxV, float64(n)/float64(p.cfg.FetchWidth))
+	m.Leak(now, p.cfg.Range.MaxV)
+}
+
+// commit retires completed uops in order, up to the retire width.
+func (p *Processor) commit(now clock.Time) int {
+	n := 0
+	for n < p.cfg.RetireWidth {
+		u := p.rob.peek()
+		if u == nil || !u.doneBy(now) {
+			break
+		}
+		p.rob.pop()
+		p.win.remove(u)
+		if u.hasReg {
+			if u.inst.IsFP() {
+				p.physFPFree++
+			} else {
+				p.physIntFree++
+			}
+		}
+		p.inflight[u.domain]--
+		if u.domain == isa.DomainLS {
+			p.lsqCount--
+			if u.inst.Class == isa.Store && p.cfg.StoreForwarding {
+				a := u.inst.Addr &^ 7
+				if p.storeAddrs[a]--; p.storeAddrs[a] == 0 {
+					delete(p.storeAddrs, a)
+				}
+			}
+		}
+		p.retired++
+		p.retiredByCls[u.inst.Class]++
+		p.lastCommit = now
+		n++
+	}
+	return n
+}
+
+// doneBy reports whether the uop's result is architecturally complete
+// at time now.
+func (u *uop) doneBy(now clock.Time) bool {
+	return u.state == stateIssued && u.readyAt <= now
+}
+
+// fetch pulls instructions from the trace into the fetch buffer,
+// modeling I-cache misses and mispredicted-branch fetch stalls.
+func (p *Processor) fetch(now clock.Time) int {
+	// A resolved mispredicted branch unblocks fetch after the redirect
+	// penalty.
+	if p.blockingBranch != nil {
+		if !p.blockingBranch.doneBy(now) {
+			return 0
+		}
+		fePeriod := clock.PeriodForMHz(p.fetchClock().FreqMHz(now))
+		p.fetchBlocked = now + clock.Time(p.cfg.MispredictRedirect)*fePeriod
+		p.blockingBranch = nil
+		return 0
+	}
+	if p.pendingMispredict || p.traceDone || now < p.fetchBlocked {
+		return 0
+	}
+	n := 0
+	for n < p.cfg.FetchWidth && !p.feQueue.Full() {
+		in, ok := p.src.Next()
+		if !ok {
+			p.traceDone = true
+			break
+		}
+		f := fetched{inst: in}
+		// I-cache access; a miss blocks further fetch until the fill.
+		level := p.mem.Inst(in.PC)
+		if level != cache.LevelL1 {
+			cycles, fixedNS := p.mem.InstLatency(level)
+			fePeriod := clock.PeriodForMHz(p.fetchClock().FreqMHz(now))
+			p.fetchBlocked = now + clock.Time(cycles)*fePeriod +
+				clock.Time(fixedNS*float64(clock.Nanosecond))
+		}
+		if in.Class == isa.Branch {
+			p.branches++
+			f.predTaken, f.predTarget = p.pred.Predict(in.PC)
+			f.mispredict = p.pred.Resolve(in.PC, f.predTaken, f.predTarget, in.Taken, in.Target)
+			if f.mispredict {
+				p.mispredicts++
+				// Stop fetching: the machine is on the wrong path
+				// until this branch resolves in the integer core.
+				p.pendingMispredict = true
+				p.feQueue.Push(now, f)
+				n++
+				break
+			}
+		}
+		p.feQueue.Push(now, f)
+		n++
+		if now < p.fetchBlocked { // the miss entry itself was fetched
+			break
+		}
+	}
+	return n
+}
+
+// dispatch renames and inserts fetched instructions into the ROB and
+// the per-domain issue queues, in order, stopping at the first
+// structural hazard.
+func (p *Processor) dispatch(now clock.Time) int {
+	n := 0
+	for n < p.cfg.DecodeWidth {
+		f, ok := p.feQueue.PeekFront(now)
+		if !ok {
+			break
+		}
+		in := f.inst
+		dom := in.Class.Domain()
+		if p.rob.full() {
+			break
+		}
+		if dom == isa.DomainLS && p.lsqCount >= p.cfg.LSQSize {
+			break
+		}
+		needsReg := (&in).HasOutput()
+		if needsReg {
+			if (&in).IsFP() {
+				if p.physFPFree == 0 {
+					break
+				}
+			} else if p.physIntFree == 0 {
+				break
+			}
+		}
+		if p.queues[dom].Full() {
+			// Count the stall against the target queue and stop: this
+			// back-pressure is the signal DVFS controllers react to.
+			p.queues[dom].Push(now, nil) // records the full-stall
+			break
+		}
+
+		u := &uop{
+			seq:        p.nextSeq,
+			inst:       in,
+			domain:     dom,
+			state:      stateDispatched,
+			predTaken:  f.predTaken,
+			predTarget: f.predTarget,
+			mispredict: f.mispredict,
+		}
+		p.nextSeq++
+		u.src1 = p.producerSeq(in.Dep1, u.seq)
+		u.src2 = p.producerSeq(in.Dep2, u.seq)
+		if needsReg {
+			u.hasReg = true
+			if (&in).IsFP() {
+				p.physFPFree--
+			} else {
+				p.physIntFree--
+			}
+		}
+		p.inflight[dom]++
+		if dom == isa.DomainLS {
+			p.lsqCount++
+			if in.Class == isa.Store && p.cfg.StoreForwarding {
+				p.storeAddrs[in.Addr&^7]++
+			}
+		}
+		p.win.insert(u)
+		p.rob.push(u)
+		p.queues[dom].Push(now, u)
+		if u.mispredict {
+			p.blockingBranch = u
+			p.pendingMispredict = false
+		}
+		p.feQueue.RemoveAt(0)
+		n++
+	}
+	return n
+}
+
+// fetchClock returns the clock that paces instruction fetch.
+func (p *Processor) fetchClock() *clock.Domain {
+	if p.fetchDom != nil {
+		return p.fetchDom
+	}
+	return p.fe
+}
+
+// producerSeq converts a dependency distance into a producer sequence
+// number. Distance counts backwards over *all* older instructions; if
+// the producer is no longer in flight the operand is ready (seq 0).
+func (p *Processor) producerSeq(dist uint32, consumer uint64) uint64 {
+	if dist == 0 || uint64(dist) >= consumer {
+		return 0
+	}
+	producer := consumer - uint64(dist)
+	if u := p.win.lookup(producer); u != nil && u.inst.HasOutput() {
+		return producer
+	}
+	return 0
+}
+
+// srcReady reports whether the operand produced by seq is available to
+// a consumer in domain dom at time now, charging the synchronization
+// window for cross-domain result forwarding.
+func (p *Processor) srcReady(seq uint64, dom isa.ExecDomain, now clock.Time) bool {
+	if seq == 0 {
+		return true
+	}
+	u := p.win.lookup(seq)
+	if u == nil {
+		return true // committed
+	}
+	if u.state != stateIssued {
+		return false
+	}
+	ready := u.readyAt
+	if u.domain != dom {
+		ready += p.cfg.SyncWindow()
+	}
+	return ready <= now
+}
+
+// execCycle issues ready, visible uops from a domain's queue into its
+// functional units for one domain clock edge.
+func (p *Processor) execCycle(now clock.Time, dom isa.ExecDomain) {
+	d := p.exec[dom]
+	freq := d.FreqMHz(now)
+	v := p.cfg.Range.VoltageFor(freq)
+	meter := p.meters[d.Name()]
+	defer meter.Leak(now, v)
+
+	units := p.aluPool[dom].size()
+	if dom != isa.DomainLS { // the LS long pool is a structural dummy
+		units += p.longPool[dom].size()
+	}
+	if d.Idle(now) { // Transmeta-style transition: domain stalls
+		meter.Cycle(v, 0)
+		return
+	}
+	if p.cfg.DeepSleep && p.queues[dom].Empty() && p.inflight[dom] == 0 {
+		// Domain sleep: nothing queued, nothing in flight — gate the
+		// whole clock tree.
+		factor := p.cfg.DeepSleepFactor
+		if factor <= 0 {
+			factor = 0.02
+		}
+		meter.CycleDeepGated(v, factor)
+		return
+	}
+
+	period := clock.PeriodForMHz(freq)
+	width := p.cfg.IssueWidth
+	if width > units {
+		width = units
+	}
+	issued := 0
+	var remove []int
+	q := p.queues[dom]
+	q.Scan(now, func(i int, u *uop) bool {
+		if issued >= width {
+			return false
+		}
+		if u.state != stateDispatched {
+			return true
+		}
+		if !p.srcReady(u.src1, dom, now) || !p.srcReady(u.src2, dom, now) {
+			return true
+		}
+		if !p.tryIssue(u, dom, now, period) {
+			return true // no free unit for this class; try younger ops
+		}
+		issued++
+		remove = append(remove, i)
+		return true
+	})
+	for j := len(remove) - 1; j >= 0; j-- {
+		q.RemoveAt(remove[j])
+	}
+	meter.Cycle(v, float64(issued)/float64(units))
+}
+
+// tryIssue books a functional unit and computes the uop's completion
+// time. It reports false when no suitable unit is free.
+func (p *Processor) tryIssue(u *uop, dom isa.ExecDomain, now clock.Time, period clock.Time) bool {
+	class := u.inst.Class
+	lat := clock.Time(class.Latency()) * period
+	fixed := clock.Time(0)
+
+	if class == isa.Load || class == isa.Store {
+		if class == isa.Load && p.cfg.StoreForwarding && p.storeAddrs[u.inst.Addr&^7] > 0 {
+			// Store-to-load forwarding: the value comes straight from
+			// the store queue; no cache access.
+			p.forwarded++
+			lat += clock.Time(p.cfg.Cache.L1Latency) * period
+		} else {
+			level := p.mem.Data(u.inst.Addr, class == isa.Store)
+			if class == isa.Load && p.cfg.Prefetch && level != cache.LevelL1 {
+				// Next-line prefetch into the hierarchy (stat-neutral).
+				p.mem.PrefetchData(u.inst.Addr + uint64(p.cfg.Cache.L1DLine))
+			}
+			cycles, fixedNS := p.mem.DataLatency(level)
+			if class == isa.Store {
+				// Stores drain through the write buffer: address
+				// generation plus L1 access; misses are absorbed.
+				cycles = p.cfg.Cache.L1Latency
+				fixedNS = 0
+			}
+			lat += clock.Time(cycles) * period
+			fixed = clock.Time(fixedNS * float64(clock.Nanosecond))
+		}
+	}
+
+	completion := now + lat + fixed
+	pool := p.aluPool[dom]
+	if !class.Pipelined() || class == isa.IntMult || class == isa.FPMult {
+		pool = p.longPool[dom]
+	}
+	busyUntil := now + period // pipelined: unit accepts a new op next cycle
+	if !class.Pipelined() {
+		busyUntil = completion
+	}
+	if !pool.acquire(now, busyUntil) {
+		return false
+	}
+	u.state = stateIssued
+	u.readyAt = completion
+	return true
+}
+
+// sampleCycle runs one tick of the 250 MHz sampling clock: record queue
+// occupancies, consult the controllers, and actuate frequency changes.
+func (p *Processor) sampleCycle(now clock.Time) {
+	for dom := 0; dom < isa.NumExecDomains; dom++ {
+		occ := p.queues[dom].Len()
+		p.samplers[dom].Record(occ)
+		d := p.exec[dom]
+		if c := p.controllers[dom]; c != nil {
+			target, change := c.Observe(now, occ, d.FreqMHz(now))
+			if change {
+				before := d.Transitions()
+				d.SetTarget(now, p.cfg.Range.Quantize(target))
+				if cost := p.cfg.Transitions.EnergyPerTransitionJ; cost > 0 && d.Transitions() > before {
+					// Regulator switching energy (ignored by the paper
+					// because the capacitors are small; charged here
+					// when the ablation enables it).
+					p.meters[d.Name()].AddJ(cost)
+				}
+			}
+		}
+		p.recordFreq(isa.ExecDomain(dom), now, d.FreqMHz(now))
+	}
+	if p.cfg.ControlFrontEnd {
+		occ := p.feQueue.Len()
+		p.feSampler.Record(occ)
+		if p.feController != nil {
+			if target, change := p.feController.Observe(now, occ, p.fe.FreqMHz(now)); change {
+				p.fe.SetTarget(now, p.cfg.Range.Quantize(target))
+			}
+		}
+	}
+}
+
+// recordFreq appends a frequency-trace point when the frequency moved.
+func (p *Processor) recordFreq(dom isa.ExecDomain, now clock.Time, mhz float64) {
+	if p.cfg.FreqTraceLimit > 0 && len(p.freqTrace[dom]) >= p.cfg.FreqTraceLimit {
+		return
+	}
+	if last := p.lastTraceF[dom]; len(p.freqTrace[dom]) > 0 && abs(mhz-last) < 0.5 {
+		return
+	}
+	p.lastTraceF[dom] = mhz
+	p.freqTrace[dom] = append(p.freqTrace[dom], FreqPoint{Insts: p.retired, MHz: mhz})
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// collect assembles the Result at end time.
+func (p *Processor) collect(end clock.Time) *Result {
+	res := &Result{
+		Benchmark:       p.src.Name(),
+		Domains:         make(map[string]DomainStats, 4),
+		QueueSamples:    make(map[string][]float64, 3),
+		FreqTrace:       make(map[string][]FreqPoint, 3),
+		QueueFullStalls: make(map[string]uint64, 3),
+	}
+	total := 0.0
+	execSec := end.Seconds()
+	for name, m := range p.meters {
+		var d *clock.Domain
+		switch name {
+		case NameFrontEnd:
+			d = p.fe
+		case NameFetch:
+			d = p.fetchDom
+		case NameInt:
+			d = p.exec[isa.DomainInt]
+		case NameFP:
+			d = p.exec[isa.DomainFP]
+		case NameLS:
+			d = p.exec[isa.DomainLS]
+		}
+		// Final leakage integration at the domain's closing voltage.
+		var v float64
+		switch name {
+		case NameFetch:
+			v = p.cfg.Range.MaxV
+		case NameFrontEnd:
+			v = p.feVoltage(end)
+		default:
+			v = p.cfg.Range.VoltageFor(d.FreqMHz(end))
+		}
+		m.Leak(end, v)
+		ds := DomainStats{
+			EnergyJ:      m.TotalJ(),
+			DynamicJ:     m.DynamicJ(),
+			LeakageJ:     m.LeakageJ(),
+			Cycles:       d.Cycles(),
+			Transitions:  d.Transitions(),
+			SlewTime:     d.SlewTime(),
+			MeanActivity: m.MeanActivity(),
+		}
+		if execSec > 0 {
+			ds.MeanFreqMHz = float64(d.Cycles()) / execSec / 1e6
+		}
+		res.Domains[name] = ds
+		total += m.TotalJ()
+	}
+	for dom := 0; dom < isa.NumExecDomains; dom++ {
+		name := p.exec[dom].Name()
+		samples := p.samplers[dom].Samples()
+		res.QueueSamples[name] = samples
+		res.FreqTrace[name] = p.freqTrace[dom]
+		_, _, stalls := p.queues[dom].Stats()
+		res.QueueFullStalls[name] = stalls
+		ds := res.Domains[name]
+		if len(samples) > 0 {
+			sum := 0.0
+			for _, s := range samples {
+				sum += s
+			}
+			ds.MeanOccupancy = sum / float64(len(samples))
+			res.Domains[name] = ds
+		}
+	}
+	res.Metrics = power.Metrics{
+		EnergyJ:      total,
+		ExecTime:     end,
+		Instructions: p.retired,
+	}
+	if fc := p.fe.Cycles(); fc > 0 {
+		res.IPC = float64(p.retired) / float64(fc)
+	}
+	if p.branches > 0 {
+		res.BranchMispredictRate = float64(p.mispredicts) / float64(p.branches)
+	}
+	if p.cfg.ControlFrontEnd {
+		res.QueueSamples["FetchQ"] = p.feSampler.Samples()
+	}
+	res.RetiredByClass = make(map[string]int64, isa.NumClasses)
+	for c := 0; c < isa.NumClasses; c++ {
+		if p.retiredByCls[c] > 0 {
+			res.RetiredByClass[isa.Class(c).String()] = p.retiredByCls[c]
+		}
+	}
+	res.ForwardedLoads = p.forwarded
+	res.L1DMissRate = p.mem.L1D().Stats().MissRate()
+	res.L1IMissRate = p.mem.L1I().Stats().MissRate()
+	res.L2MissRate = p.mem.L2().Stats().MissRate()
+	return res
+}

@@ -1,0 +1,132 @@
+package plot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarGroup is one series of a grouped bar chart: one value per label.
+type BarGroup struct {
+	Name   string
+	Values []float64
+}
+
+// BarChart is a magnitude-comparison figure (e.g. Figures 8–11). With
+// one group it renders plain bars; with several, grouped bars with a
+// legend and a 2px surface gap between adjacent bars. Data ends are
+// rounded (2px) and anchored to the zero baseline; negative values
+// hang below it.
+type BarChart struct {
+	Title  string
+	YLabel string
+	// YSuffix is appended to y tick labels (e.g. "%").
+	YSuffix string
+	Labels  []string
+	Groups  []BarGroup
+	// LabelGroupValues, when it matches a label, draws visible value
+	// labels on that label's bars (selective direct labels; the
+	// contrast relief for below-3:1 palette slots).
+	LabelGroupValues string
+	// Width and Height default to width fitted to the data and 380.
+	Width, Height int
+}
+
+// SVG renders the chart.
+func (c *BarChart) SVG() (string, error) {
+	if len(c.Groups) == 0 || len(c.Labels) == 0 {
+		return "", fmt.Errorf("plot: bar chart needs labels and groups")
+	}
+	if len(c.Groups) > len(seriesColors) {
+		return "", fmt.Errorf("plot: %d groups exceeds the %d fixed palette slots", len(c.Groups), len(seriesColors))
+	}
+	for _, g := range c.Groups {
+		if len(g.Values) != len(c.Labels) {
+			return "", fmt.Errorf("plot: group %q has %d values for %d labels", g.Name, len(g.Values), len(c.Labels))
+		}
+	}
+	w, h := c.Width, c.Height
+	if w == 0 {
+		w = 64 + 20 + len(c.Labels)*(len(c.Groups)*18+26)
+		if w < 480 {
+			w = 480
+		}
+	}
+	if h == 0 {
+		h = 380
+	}
+	ymin, ymax := 0.0, 0.0
+	for _, g := range c.Groups {
+		for _, v := range g.Values {
+			if v < ymin {
+				ymin = v
+			}
+			if v > ymax {
+				ymax = v
+			}
+		}
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	ymax *= 1.1
+	if ymin < 0 {
+		ymin *= 1.1
+	}
+	f := frame{
+		w: w, h: h, ml: 64, mr: 20, mt: 46, mb: 64,
+		title: c.Title, ylabel: c.YLabel,
+		xmin: 0, xmax: 1, ymin: ymin, ymax: ymax,
+	}
+
+	var b strings.Builder
+	f.header(&b)
+	f.yAxis(&b, c.YSuffix)
+	if len(c.Groups) >= 2 {
+		names := make([]string, len(c.Groups))
+		for i, g := range c.Groups {
+			names[i] = g.Name
+		}
+		legend(&b, f.ml+120, f.mt-20, names)
+	}
+
+	slot := f.plotW() / float64(len(c.Labels))
+	barW := (slot - 26) / float64(len(c.Groups))
+	if barW < 4 {
+		barW = 4
+	}
+	zero := f.ypix(0)
+	for li, label := range c.Labels {
+		groupX := f.ml + float64(li)*slot + 13
+		for gi, g := range c.Groups {
+			v := g.Values[li]
+			x := groupX + float64(gi)*barW
+			yv := f.ypix(v)
+			top, hgt := yv, zero-yv
+			if v < 0 {
+				top, hgt = zero, yv-zero
+			}
+			if hgt < 0.5 {
+				hgt = 0.5
+			}
+			// 2px surface gap between adjacent bars: shrink each bar.
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" rx="2" fill="%s"><title>%s — %s: %.2f%s</title></rect>`+"\n",
+				x+1, top, barW-2, hgt, seriesColors[gi], esc(label), esc(g.Name), v, c.YSuffix)
+			if c.LabelGroupValues == label {
+				fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="9" fill="%s" text-anchor="middle">%.1f</text>`+"\n",
+					x+barW/2, top-4, textPrimary, v)
+			}
+		}
+		// Category label, angled when crowded.
+		lx := groupX + barW*float64(len(c.Groups))/2
+		ly := f.mt + f.plotH() + 14
+		if len(c.Labels) > 8 {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="9" fill="%s" text-anchor="end" transform="rotate(-35 %.1f %.1f)">%s</text>`+"\n",
+				lx, ly, textSecondary, lx, ly, esc(label))
+		} else {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="%s" text-anchor="middle">%s</text>`+"\n",
+				lx, ly, textSecondary, esc(label))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}

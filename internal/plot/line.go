@@ -1,0 +1,103 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// LineChart is a change-over-time figure (e.g. Figure 7's frequency
+// trajectory).
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// YMin/YMax fix the y range when both are set (YMax > YMin);
+	// otherwise the range fits the data with headroom.
+	YMin, YMax float64
+	Series     []Series
+	// Width and Height default to 860x360.
+	Width, Height int
+}
+
+// SVG renders the chart.
+func (c *LineChart) SVG() (string, error) {
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("plot: line chart with no series")
+	}
+	if len(c.Series) > len(seriesColors) {
+		return "", fmt.Errorf("plot: %d series exceeds the %d fixed palette slots", len(c.Series), len(seriesColors))
+	}
+	w, h := c.Width, c.Height
+	if w == 0 {
+		w = 860
+	}
+	if h == 0 {
+		h = 360
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) < 2 {
+			return "", fmt.Errorf("plot: series %q needs at least 2 points", s.Name)
+		}
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if c.YMax > c.YMin {
+		ymin, ymax = c.YMin, c.YMax
+	} else {
+		pad := (ymax - ymin) * 0.08
+		if pad == 0 {
+			pad = 1
+		}
+		ymin -= pad
+		ymax += pad
+	}
+	f := frame{
+		w: w, h: h, ml: 64, mr: 20, mt: 46, mb: 44,
+		title: c.Title, xlabel: c.XLabel, ylabel: c.YLabel,
+		xmin: xmin, xmax: xmax, ymin: ymin, ymax: ymax,
+	}
+
+	var b strings.Builder
+	f.header(&b)
+	f.yAxis(&b, "")
+	// X ticks.
+	for _, t := range niceTicks(xmin, xmax, 8) {
+		x := f.xpix(t)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="1"/>`+"\n",
+			x, f.mt+f.plotH(), x, f.mt+f.plotH()+4, axisColor)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="10" fill="%s" text-anchor="middle">%s</text>`+"\n",
+			x, f.mt+f.plotH()+16, textSecondary, fmtTick(t))
+	}
+	if len(c.Series) >= 2 {
+		names := make([]string, len(c.Series))
+		for i, s := range c.Series {
+			names[i] = s.Name
+		}
+		legend(&b, f.ml+120, f.mt-20, names)
+	}
+	// Lines: 2px, no markers (dense traces), native tooltip per series.
+	for i, s := range c.Series {
+		var path strings.Builder
+		for j := range s.X {
+			cmd := "L"
+			if j == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, f.xpix(s.X[j]), f.ypix(s.Y[j]))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round"><title>%s</title></path>`+"\n",
+			strings.TrimSpace(path.String()), seriesColors[i], esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}

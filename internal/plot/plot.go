@@ -1,0 +1,142 @@
+// Package plot renders the paper's figures as standalone SVG files
+// using only the standard library. Forms and styling follow a fixed
+// house method: thin marks, recessive grid and axes, text in text
+// tokens (never series colors), a legend whenever two or more series
+// are shown, native <title> tooltips on every mark, and a validated
+// colorblind-safe categorical palette assigned in fixed slot order.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// The validated palette (light mode). Slots are assigned in fixed
+// order and never cycled; charts here use at most three series.
+var seriesColors = []string{
+	"#2a78d6", // slot 1: blue
+	"#1baf7a", // slot 2: aqua
+	"#eda100", // slot 3: yellow
+}
+
+// Surface and text tokens (light mode).
+const (
+	surface       = "#fcfcfb"
+	textPrimary   = "#0b0b0b"
+	textSecondary = "#52514e"
+	gridColor     = "#e4e3df"
+	axisColor     = "#b5b4ae"
+)
+
+// Series is one named line on a line chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// esc escapes text for SVG.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// niceTicks returns ~n rounded tick values covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/float64(n))))
+	for span/step > float64(n)*2 {
+		step *= 2
+	}
+	for span/step > float64(n) {
+		step *= 2.5
+		if span/step <= float64(n) {
+			break
+		}
+	}
+	start := math.Ceil(lo/step) * step
+	var ticks []float64
+	for v := start; v <= hi+step/1e6; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+// fmtTick renders a tick value compactly.
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 10 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// frame holds the shared chart scaffolding.
+type frame struct {
+	w, h                   int
+	ml, mr, mt, mb         float64
+	title, xlabel, ylabel  string
+	xmin, xmax, ymin, ymax float64
+}
+
+func (f *frame) plotW() float64 { return float64(f.w) - f.ml - f.mr }
+func (f *frame) plotH() float64 { return float64(f.h) - f.mt - f.mb }
+
+func (f *frame) xpix(x float64) float64 {
+	return f.ml + (x-f.xmin)/(f.xmax-f.xmin)*f.plotW()
+}
+
+func (f *frame) ypix(y float64) float64 {
+	return f.mt + (1-(y-f.ymin)/(f.ymax-f.ymin))*f.plotH()
+}
+
+// header emits the SVG opening, background, title and axis labels.
+func (f *frame) header(b *strings.Builder) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, sans-serif">`+"\n",
+		f.w, f.h, f.w, f.h)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="%s"/>`+"\n", f.w, f.h, surface)
+	fmt.Fprintf(b, `<text x="%g" y="%g" font-size="15" font-weight="600" fill="%s">%s</text>`+"\n",
+		f.ml, f.mt-24, textPrimary, esc(f.title))
+	if f.xlabel != "" {
+		fmt.Fprintf(b, `<text x="%g" y="%g" font-size="11" fill="%s" text-anchor="middle">%s</text>`+"\n",
+			f.ml+f.plotW()/2, float64(f.h)-8, textSecondary, esc(f.xlabel))
+	}
+	if f.ylabel != "" {
+		fmt.Fprintf(b, `<text x="14" y="%g" font-size="11" fill="%s" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n",
+			f.mt+f.plotH()/2, textSecondary, f.mt+f.plotH()/2, esc(f.ylabel))
+	}
+}
+
+// yAxis emits horizontal gridlines and y tick labels.
+func (f *frame) yAxis(b *strings.Builder, suffix string) {
+	for _, t := range niceTicks(f.ymin, f.ymax, 5) {
+		y := f.ypix(t)
+		fmt.Fprintf(b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="1"/>`+"\n",
+			f.ml, y, f.ml+f.plotW(), y, gridColor)
+		fmt.Fprintf(b, `<text x="%g" y="%g" font-size="10" fill="%s" text-anchor="end">%s%s</text>`+"\n",
+			f.ml-6, y+3, textSecondary, fmtTick(t), suffix)
+	}
+	// Baseline axis.
+	fmt.Fprintf(b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="1"/>`+"\n",
+		f.ml, f.mt+f.plotH(), f.ml+f.plotW(), f.mt+f.plotH(), axisColor)
+}
+
+// legend emits a legend row above the plot (only called for >= 2 series).
+func legend(b *strings.Builder, x, y float64, names []string) {
+	for i, name := range names {
+		fmt.Fprintf(b, `<rect x="%g" y="%g" width="10" height="10" rx="2" fill="%s"/>`+"\n",
+			x, y-9, seriesColors[i%len(seriesColors)])
+		fmt.Fprintf(b, `<text x="%g" y="%g" font-size="11" fill="%s">%s</text>`+"\n",
+			x+14, y, textPrimary, esc(name))
+		x += 14 + float64(len(name))*6.6 + 18
+	}
+}

@@ -1,0 +1,201 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func parseSVG(t *testing.T, s string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(s))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, s)
+		}
+	}
+}
+
+func TestLineChartRendersValidSVG(t *testing.T) {
+	c := &LineChart{
+		Title:  "FP frequency",
+		XLabel: "instructions",
+		YLabel: "relative f",
+		Series: []Series{{
+			Name: "adaptive",
+			X:    []float64{0, 1000, 2000, 3000},
+			Y:    []float64{1.0, 0.8, 0.4, 0.25},
+		}},
+	}
+	s, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, s)
+	for _, want := range []string{"<svg", "FP frequency", "instructions", `stroke="#2a78d6"`, "stroke-width=\"2\""} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Single series: no legend swatch rects beyond the background.
+	if strings.Count(s, `rx="2"`) != 0 {
+		t.Errorf("unexpected legend/bars in a single-series line chart")
+	}
+}
+
+func TestLineChartLegendForMultipleSeries(t *testing.T) {
+	c := &LineChart{
+		Title: "two",
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1}, Y: []float64{1, 2}},
+			{Name: "b", X: []float64{0, 1}, Y: []float64{2, 1}},
+		},
+	}
+	s, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, s)
+	if !strings.Contains(s, ">a</text>") || !strings.Contains(s, ">b</text>") {
+		t.Error("legend labels missing")
+	}
+	if !strings.Contains(s, seriesColors[1]) {
+		t.Error("second series color missing")
+	}
+}
+
+func TestLineChartErrors(t *testing.T) {
+	if _, err := (&LineChart{Title: "x"}).SVG(); err == nil {
+		t.Error("empty chart accepted")
+	}
+	bad := &LineChart{Series: []Series{{Name: "a", X: []float64{1, 2}, Y: []float64{1}}}}
+	if _, err := bad.SVG(); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	short := &LineChart{Series: []Series{{Name: "a", X: []float64{1}, Y: []float64{1}}}}
+	if _, err := short.SVG(); err == nil {
+		t.Error("1-point series accepted")
+	}
+	many := &LineChart{Series: make([]Series, len(seriesColors)+1)}
+	for i := range many.Series {
+		many.Series[i] = Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}
+	}
+	if _, err := many.SVG(); err == nil {
+		t.Error("palette overflow accepted")
+	}
+}
+
+func TestBarChartGrouped(t *testing.T) {
+	c := &BarChart{
+		Title:   "energy savings",
+		YLabel:  "saving",
+		YSuffix: "%",
+		Labels:  []string{"gzip", "mcf", "AVERAGE"},
+		Groups: []BarGroup{
+			{Name: "adaptive", Values: []float64{9.1, 12.7, 8.1}},
+			{Name: "pid", Values: []float64{10.5, 9.7, 7.1}},
+			{Name: "attack-decay", Values: []float64{6.8, 11.5, 6.2}},
+		},
+		LabelGroupValues: "AVERAGE",
+	}
+	s, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, s)
+	// 9 bars + 3 legend swatches.
+	if got := strings.Count(s, `rx="2"`); got != 12 {
+		t.Errorf("rounded rect count = %d, want 12", got)
+	}
+	// Tooltips on every bar.
+	if got := strings.Count(s, "<title>"); got != 9 {
+		t.Errorf("tooltip count = %d, want 9", got)
+	}
+	// Direct labels only on the AVERAGE group (3 values).
+	if got := strings.Count(s, `font-size="9" fill="#0b0b0b"`); got != 3 {
+		t.Errorf("direct label count = %d, want 3", got)
+	}
+	for _, col := range seriesColors {
+		if !strings.Contains(s, col) {
+			t.Errorf("missing series color %s", col)
+		}
+	}
+}
+
+func TestBarChartNegativeValuesHangBelowBaseline(t *testing.T) {
+	c := &BarChart{
+		Title:  "edp",
+		Labels: []string{"art"},
+		Groups: []BarGroup{{Name: "attack-decay", Values: []float64{-9.8}}},
+	}
+	s, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, s)
+	if !strings.Contains(s, "-9.8") {
+		t.Error("negative value missing from tooltip")
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	if _, err := (&BarChart{}).SVG(); err == nil {
+		t.Error("empty chart accepted")
+	}
+	mismatch := &BarChart{Labels: []string{"a", "b"}, Groups: []BarGroup{{Name: "g", Values: []float64{1}}}}
+	if _, err := mismatch.SVG(); err == nil {
+		t.Error("mismatched group accepted")
+	}
+	many := &BarChart{Labels: []string{"a"}, Groups: make([]BarGroup, len(seriesColors)+1)}
+	for i := range many.Groups {
+		many.Groups[i] = BarGroup{Name: "g", Values: []float64{1}}
+	}
+	if _, err := many.SVG(); err == nil {
+		t.Error("palette overflow accepted")
+	}
+}
+
+func TestRotatedLabelsWhenCrowded(t *testing.T) {
+	labels := make([]string, 12)
+	vals := make([]float64, 12)
+	for i := range labels {
+		labels[i] = "bench"
+		vals[i] = float64(i)
+	}
+	c := &BarChart{Title: "crowded", Labels: labels, Groups: []BarGroup{{Name: "g", Values: vals}}}
+	s, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "rotate(-35") {
+		t.Error("crowded labels not rotated")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 10, 5)
+	if len(ticks) < 3 || ticks[0] < 0 || ticks[len(ticks)-1] > 10.001 {
+		t.Errorf("bad ticks %v", ticks)
+	}
+	// Degenerate range must not loop forever or panic.
+	_ = niceTicks(5, 5, 5)
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{2e6: "2.0M", 5000: "5k", 12: "12", 0.25: "0.25", 3: "3"}
+	for in, want := range cases {
+		if got := fmtTick(in); got != want {
+			t.Errorf("fmtTick(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEsc(t *testing.T) {
+	if esc(`a<b>&"c"`) != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Errorf("esc wrong: %q", esc(`a<b>&"c"`))
+	}
+}

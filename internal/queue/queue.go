@@ -1,0 +1,213 @@
+// Package queue implements the bounded inter-domain interface/issue
+// queues of the MCD processor. A queue lives at a clock-domain boundary:
+// the producer (front end) inserts entries that become visible to the
+// consumer domain only after the synchronization window has elapsed,
+// modeling the arbitration-based synchronization interface used by the
+// MCD implementation the paper builds on. Occupancy is the signal every
+// DVFS controller in the paper observes.
+package queue
+
+import (
+	"fmt"
+
+	"mcddvfs/internal/clock"
+)
+
+// SyncPolicy selects the inter-domain synchronization interface design
+// (Section 2 of the paper surveys both families).
+type SyncPolicy int
+
+const (
+	// SyncArbitration models the arbitration-based interface of
+	// Sjogren & Myers used by the Semeraro et al. MCD implementation:
+	// every transfer may need to wait out the synchronization window.
+	SyncArbitration SyncPolicy = iota
+	// SyncTokenRing models token-ring FIFOs (Chelcea & Nowick), which
+	// have "no synchronization cost if the FIFO is neither full nor
+	// empty": only entries written into an empty queue (a waiting
+	// consumer) pay the window.
+	SyncTokenRing
+)
+
+// String implements fmt.Stringer.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncArbitration:
+		return "arbitration"
+	case SyncTokenRing:
+		return "token-ring"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// Queue is a bounded buffer of entries with synchronization-delayed
+// visibility. Entries are kept in insertion (program) order; consumers
+// may remove any visible entry, which is how an out-of-order issue
+// window behaves. The zero Queue is not usable; call New.
+type Queue[T any] struct {
+	name     string
+	capacity int
+	syncWin  clock.Time
+	policy   SyncPolicy
+
+	vals    []T
+	visible []clock.Time // per-entry visibility time
+
+	// Statistics.
+	pushes    uint64
+	pops      uint64
+	fullStall uint64
+	syncPaid  uint64
+}
+
+// New creates a queue with the given capacity and synchronization
+// window, using the arbitration interface. A zero window makes entries
+// visible immediately.
+func New[T any](name string, capacity int, syncWin clock.Time) *Queue[T] {
+	return NewWithPolicy[T](name, capacity, syncWin, SyncArbitration)
+}
+
+// NewWithPolicy creates a queue with an explicit synchronization
+// interface design.
+func NewWithPolicy[T any](name string, capacity int, syncWin clock.Time, policy SyncPolicy) *Queue[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("queue %q: non-positive capacity %d", name, capacity))
+	}
+	if syncWin < 0 {
+		panic(fmt.Sprintf("queue %q: negative sync window", name))
+	}
+	return &Queue[T]{
+		name:     name,
+		capacity: capacity,
+		syncWin:  syncWin,
+		policy:   policy,
+		vals:     make([]T, 0, capacity),
+		visible:  make([]clock.Time, 0, capacity),
+	}
+}
+
+// Name returns the queue's label.
+func (q *Queue[T]) Name() string { return q.name }
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() int { return q.capacity }
+
+// Len returns the current occupancy, including entries not yet visible
+// to the consumer. This is the value the occupancy sampler reads: the
+// physical queue fullness.
+func (q *Queue[T]) Len() int { return len(q.vals) }
+
+// Full reports whether a Push would fail.
+func (q *Queue[T]) Full() bool { return len(q.vals) >= q.capacity }
+
+// Empty reports whether the queue holds no entries at all.
+func (q *Queue[T]) Empty() bool { return len(q.vals) == 0 }
+
+// Push inserts v at time now. It reports false (and counts a full-queue
+// stall) when the queue is full. Under the arbitration interface every
+// entry becomes visible at now + the synchronization window; under the
+// token-ring interface only entries written into an empty queue pay it.
+func (q *Queue[T]) Push(now clock.Time, v T) bool {
+	if q.Full() {
+		q.fullStall++
+		return false
+	}
+	vis := now
+	if q.policy == SyncArbitration || len(q.vals) == 0 {
+		vis += q.syncWin
+		if q.syncWin > 0 {
+			q.syncPaid++
+		}
+	}
+	q.vals = append(q.vals, v)
+	q.visible = append(q.visible, vis)
+	q.pushes++
+	return true
+}
+
+// SyncPenaltiesPaid counts entries that paid the synchronization
+// window.
+func (q *Queue[T]) SyncPenaltiesPaid() uint64 { return q.syncPaid }
+
+// VisibleLen returns how many entries the consumer can see at time now.
+func (q *Queue[T]) VisibleLen(now clock.Time) int {
+	n := 0
+	for _, vt := range q.visible {
+		if vt <= now {
+			n++
+		}
+	}
+	return n
+}
+
+// Scan calls fn for each visible entry in insertion order until fn
+// returns false. The index passed to fn is stable for the duration of
+// the scan and can be passed to RemoveAt afterwards (remove in
+// descending index order, or use CollectRemove).
+func (q *Queue[T]) Scan(now clock.Time, fn func(i int, v T) bool) {
+	for i := range q.vals {
+		if q.visible[i] > now {
+			continue
+		}
+		if !fn(i, q.vals[i]) {
+			return
+		}
+	}
+}
+
+// At returns the entry at index i.
+func (q *Queue[T]) At(i int) T { return q.vals[i] }
+
+// RemoveAt deletes the entry at index i, preserving order.
+func (q *Queue[T]) RemoveAt(i int) {
+	q.vals = append(q.vals[:i], q.vals[i+1:]...)
+	q.visible = append(q.visible[:i], q.visible[i+1:]...)
+	q.pops++
+}
+
+// RemoveIf deletes all entries matching pred, preserving order, and
+// returns how many were removed. Visibility is ignored: squashes (the
+// only bulk-removal user) flush wrong-path entries regardless of
+// synchronization state.
+func (q *Queue[T]) RemoveIf(pred func(v T) bool) int {
+	out := 0
+	w := 0
+	for i := range q.vals {
+		if pred(q.vals[i]) {
+			out++
+			continue
+		}
+		q.vals[w] = q.vals[i]
+		q.visible[w] = q.visible[i]
+		w++
+	}
+	q.vals = q.vals[:w]
+	q.visible = q.visible[:w]
+	q.pops += uint64(out)
+	return out
+}
+
+// PeekFront returns the oldest entry without removing it, if it is
+// visible at time now.
+func (q *Queue[T]) PeekFront(now clock.Time) (v T, ok bool) {
+	if len(q.vals) == 0 || q.visible[0] > now {
+		return v, false
+	}
+	return q.vals[0], true
+}
+
+// PopFront removes and returns the oldest visible entry, if any.
+func (q *Queue[T]) PopFront(now clock.Time) (v T, ok bool) {
+	if len(q.vals) == 0 || q.visible[0] > now {
+		return v, false
+	}
+	v = q.vals[0]
+	q.RemoveAt(0)
+	return v, true
+}
+
+// Stats returns cumulative pushes, pops, and full-queue stalls.
+func (q *Queue[T]) Stats() (pushes, pops, fullStalls uint64) {
+	return q.pushes, q.pops, q.fullStall
+}

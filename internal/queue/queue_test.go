@@ -1,0 +1,230 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mcddvfs/internal/clock"
+)
+
+func TestPushPopFIFO(t *testing.T) {
+	q := New[int]("iq", 4, 0)
+	for i := 1; i <= 4; i++ {
+		if !q.Push(0, i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if !q.Full() {
+		t.Error("queue should be full")
+	}
+	if q.Push(0, 5) {
+		t.Error("push into full queue succeeded")
+	}
+	for i := 1; i <= 4; i++ {
+		v, ok := q.PopFront(0)
+		if !ok || v != i {
+			t.Fatalf("PopFront = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if !q.Empty() {
+		t.Error("queue should be empty")
+	}
+	_, _, stalls := q.Stats()
+	if stalls != 1 {
+		t.Errorf("fullStalls = %d, want 1", stalls)
+	}
+}
+
+func TestSyncWindowDelaysVisibility(t *testing.T) {
+	win := 300 * clock.Picosecond
+	q := New[int]("iq", 4, win)
+	q.Push(1000, 7)
+	if q.VisibleLen(1000) != 0 {
+		t.Error("entry visible before sync window elapsed")
+	}
+	if _, ok := q.PopFront(1000 + win - 1); ok {
+		t.Error("PopFront saw entry inside sync window")
+	}
+	if v, ok := q.PopFront(1000 + win); !ok || v != 7 {
+		t.Error("entry not visible after sync window")
+	}
+	// Len counts physical occupancy regardless of visibility.
+	q.Push(2000, 8)
+	if q.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (physical occupancy)", q.Len())
+	}
+}
+
+func TestScanVisitsOnlyVisibleInOrder(t *testing.T) {
+	q := New[int]("iq", 8, 100)
+	q.Push(0, 1)   // visible at 100
+	q.Push(50, 2)  // visible at 150
+	q.Push(500, 3) // visible at 600
+	var seen []int
+	q.Scan(200, func(i, v int) bool {
+		seen = append(seen, v)
+		return true
+	})
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Errorf("Scan saw %v, want [1 2]", seen)
+	}
+	// Early termination.
+	count := 0
+	q.Scan(1000, func(i, v int) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("Scan after false return visited %d entries, want 1", count)
+	}
+}
+
+func TestRemoveAtPreservesOrder(t *testing.T) {
+	q := New[int]("iq", 8, 0)
+	for i := 1; i <= 5; i++ {
+		q.Push(0, i)
+	}
+	q.RemoveAt(1) // remove 2
+	q.RemoveAt(2) // remove 4 (indices shifted)
+	var rest []int
+	q.Scan(0, func(i, v int) bool { rest = append(rest, v); return true })
+	want := []int{1, 3, 5}
+	for i := range want {
+		if rest[i] != want[i] {
+			t.Fatalf("after removals: %v, want %v", rest, want)
+		}
+	}
+}
+
+func TestRemoveIfIgnoresVisibility(t *testing.T) {
+	q := New[int]("iq", 8, 1000)
+	q.Push(0, 1)
+	q.Push(0, 2)
+	q.Push(0, 3)
+	n := q.RemoveIf(func(v int) bool { return v%2 == 1 })
+	if n != 2 || q.Len() != 1 {
+		t.Errorf("RemoveIf removed %d (len %d), want 2 (len 1)", n, q.Len())
+	}
+	if q.At(0) != 2 {
+		t.Errorf("survivor = %d, want 2", q.At(0))
+	}
+}
+
+func TestOccupancyConservation(t *testing.T) {
+	// Property: Len == pushes - pops at all times.
+	q := New[uint16]("iq", 16, 10)
+	f := func(ops []uint16) bool {
+		for _, op := range ops {
+			if op%3 == 0 {
+				q.Push(clock.Time(op), op)
+			} else {
+				q.PopFront(clock.Time(op) + 100)
+			}
+			pushes, pops, _ := q.Stats()
+			if int(pushes-pops) != q.Len() {
+				return false
+			}
+			if q.Len() > q.Cap() || q.Len() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVisibleNeverExceedsLen(t *testing.T) {
+	q := New[int]("iq", 8, 500)
+	f := func(now uint32) bool {
+		return q.VisibleLen(clock.Time(now)) <= q.Len()
+	}
+	q.Push(0, 1)
+	q.Push(100, 2)
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPanicsOnBadArgs(t *testing.T) {
+	for i, fn := range []func(){
+		func() { New[int]("x", 0, 0) },
+		func() { New[int]("x", 4, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSampler(t *testing.T) {
+	s := NewSampler(3)
+	for i := 0; i < 5; i++ {
+		s.Record(i)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+	if s.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", s.Dropped())
+	}
+	want := []float64{0, 1, 2}
+	for i, v := range s.Samples() {
+		if v != want[i] {
+			t.Errorf("sample %d = %g, want %g", i, v, want[i])
+		}
+	}
+	unl := NewSampler(0)
+	for i := 0; i < 100; i++ {
+		unl.Record(i)
+	}
+	if unl.Len() != 100 || unl.Dropped() != 0 {
+		t.Error("unlimited sampler dropped samples")
+	}
+}
+
+func TestTokenRingPaysOnlyOnEmpty(t *testing.T) {
+	win := 300 * clock.Picosecond
+	q := NewWithPolicy[int]("iq", 4, win, SyncTokenRing)
+	q.Push(1000, 1) // into empty queue: pays the window
+	if q.VisibleLen(1000) != 0 {
+		t.Error("first entry visible before window under token ring")
+	}
+	q.Push(1100, 2) // queue non-empty: free
+	if got := q.VisibleLen(1100); got != 1 {
+		t.Errorf("second entry should be visible immediately, visible=%d", got)
+	}
+	if q.SyncPenaltiesPaid() != 1 {
+		t.Errorf("penalties = %d, want 1", q.SyncPenaltiesPaid())
+	}
+	// Arbitration pays every time.
+	a := NewWithPolicy[int]("iq", 4, win, SyncArbitration)
+	a.Push(1000, 1)
+	a.Push(1100, 2)
+	if a.SyncPenaltiesPaid() != 2 {
+		t.Errorf("arbitration penalties = %d, want 2", a.SyncPenaltiesPaid())
+	}
+}
+
+func TestSyncPolicyString(t *testing.T) {
+	if SyncArbitration.String() != "arbitration" || SyncTokenRing.String() != "token-ring" {
+		t.Error("bad policy names")
+	}
+	if SyncPolicy(9).String() == "" {
+		t.Error("out-of-range policy must format")
+	}
+}
+
+func TestZeroWindowPaysNothing(t *testing.T) {
+	q := NewWithPolicy[int]("iq", 4, 0, SyncArbitration)
+	q.Push(0, 1)
+	if q.SyncPenaltiesPaid() != 0 {
+		t.Error("zero window counted a penalty")
+	}
+}

@@ -1,0 +1,37 @@
+package queue
+
+// Sampler records a fixed-rate occupancy time series for one queue.
+// The paper's controllers sample queue occupancy at 250 MHz; the same
+// series feeds the spectral analysis of Section 5.2.
+type Sampler struct {
+	samples []float64
+	limit   int
+	dropped uint64
+}
+
+// NewSampler creates a sampler that retains at most limit samples
+// (0 = unlimited). When the limit is hit, further samples are counted
+// but not stored, keeping long simulations bounded in memory while the
+// controllers still run off live values.
+func NewSampler(limit int) *Sampler {
+	return &Sampler{limit: limit}
+}
+
+// Record appends one occupancy observation.
+func (s *Sampler) Record(occ int) {
+	if s.limit > 0 && len(s.samples) >= s.limit {
+		s.dropped++
+		return
+	}
+	s.samples = append(s.samples, float64(occ))
+}
+
+// Samples returns the recorded series (not a copy; callers must not
+// mutate it while the simulation is running).
+func (s *Sampler) Samples() []float64 { return s.samples }
+
+// Dropped returns how many samples were discarded due to the limit.
+func (s *Sampler) Dropped() uint64 { return s.dropped }
+
+// Len returns the number of retained samples.
+func (s *Sampler) Len() int { return len(s.samples) }

@@ -1,0 +1,129 @@
+package stability
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiscreteRootsMatchContinuous(t *testing.T) {
+	s := Default()
+	for _, T := range []float64{0.1, 1, 10} {
+		z1, z2 := s.DiscreteRoots(1, T)
+		r1, r2 := s.Roots(1)
+		// |z| = e^{Re(s)·T}.
+		if got, want := cmplx.Abs(z1), math.Exp(real(r1)*T); math.Abs(got-want) > 1e-12 {
+			t.Errorf("T=%g: |z1| = %g, want %g", T, got, want)
+		}
+		if got, want := cmplx.Abs(z2), math.Exp(real(r2)*T); math.Abs(got-want) > 1e-12 {
+			t.Errorf("T=%g: |z2| = %g, want %g", T, got, want)
+		}
+	}
+}
+
+// TestDiscreteStabilityForAllPositiveSettings extends Remark 1 to the
+// sampled system: any positive parameterization is stable at any
+// sampling period.
+func TestDiscreteStabilityForAllPositiveSettings(t *testing.T) {
+	f := func(m, l, tm, tl, gamma, Traw uint16) bool {
+		s := Default()
+		s.M = 1 + float64(m%2000)
+		s.L = 1 + float64(l%2000)
+		s.TM0 = 1 + float64(tm%200)
+		s.TL0 = 1 + float64(tl%50)
+		s.Gamma = 0.5 + float64(gamma%100)/10
+		T := 0.1 + float64(Traw%100)
+		return s.StableDiscrete(1, T) && s.StableDiscrete(0.3, T)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiscreteStepResponseConvergesToZero(t *testing.T) {
+	// The loop has integral action on the queue error, so the sampled
+	// error sequence must decay to zero after a workload step.
+	s := Default()
+	seq, err := s.DiscreteStepResponse(1, 1, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0.0
+	for _, e := range seq {
+		if math.Abs(e) > peak {
+			peak = math.Abs(e)
+		}
+	}
+	if peak == 0 {
+		t.Fatal("no transient at all")
+	}
+	tail := seq[len(seq)-1]
+	if math.Abs(tail) > 0.02*peak {
+		t.Errorf("queue error did not decay: tail %g vs peak %g", tail, peak)
+	}
+}
+
+func TestDiscreteMatchesContinuousEnvelope(t *testing.T) {
+	// At the paper's fine-grained setting the discrete and continuous
+	// analyses must agree: the sampled error envelope decays at the
+	// continuous rate e^{Re(s)·t} within a modest factor.
+	s := Default()
+	T := 1.0
+	seq, err := s.DiscreteStepResponse(1, T, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := s.Roots(1)
+	decay := real(r1)
+	// Compare |e(k)| at two well-separated points against the
+	// analytic envelope ratio.
+	k1, k2 := 20, 120
+	got := math.Abs(seq[k2]) / math.Abs(seq[k1])
+	want := math.Exp(decay * float64(k2-k1) * T)
+	if got > want*50 || got < want/50 {
+		t.Errorf("envelope ratio %g vs analytic %g (decay %g)", got, want, decay)
+	}
+}
+
+func TestDiscreteStepResponseErrors(t *testing.T) {
+	s := Default()
+	if _, err := s.DiscreteStepResponse(1, 0, 10); err == nil {
+		t.Error("T=0 accepted")
+	}
+	if _, err := s.DiscreteStepResponse(1, 1, 0); err == nil {
+		t.Error("steps=0 accepted")
+	}
+	s.C2 = 0
+	if _, err := s.DiscreteStepResponse(1, 1, 10); err == nil {
+		t.Error("invalid system accepted")
+	}
+}
+
+func TestExpm2Identity(t *testing.T) {
+	// exp(0) = I.
+	m := expm2(0, 0, 0, 0, 5)
+	want := [4]float64{1, 0, 0, 1}
+	for i := range want {
+		if math.Abs(m[i]-want[i]) > 1e-12 {
+			t.Fatalf("exp(0) = %v", m)
+		}
+	}
+	// exp(diag(a,d)t) = diag(e^{at}, e^{dt}).
+	m = expm2(0.3, 0, 0, -0.7, 2)
+	if math.Abs(m[0]-math.Exp(0.6)) > 1e-9 || math.Abs(m[3]-math.Exp(-1.4)) > 1e-9 {
+		t.Errorf("diagonal exponential wrong: %v", m)
+	}
+	if m[1] != 0 || m[2] != 0 {
+		t.Errorf("off-diagonals nonzero: %v", m)
+	}
+}
+
+func TestExpm2Rotation(t *testing.T) {
+	// exp([[0,1],[-1,0]]·θ) is a rotation by θ.
+	theta := 0.8
+	m := expm2(0, 1, -1, 0, theta)
+	if math.Abs(m[0]-math.Cos(theta)) > 1e-9 || math.Abs(m[1]-math.Sin(theta)) > 1e-9 {
+		t.Errorf("rotation wrong: %v", m)
+	}
+}

@@ -1,0 +1,161 @@
+package stability
+
+import (
+	"fmt"
+	"math"
+)
+
+// State is one point of a closed-loop trajectory.
+type State struct {
+	T float64 // time in sampling periods
+	Q float64 // queue occupancy
+	F float64 // normalized frequency
+	U float64 // service rate µ(f)
+}
+
+// Mu evaluates the µ–f service model at normalized frequency f.
+func (s System) Mu(f float64) float64 {
+	if f <= 0 {
+		return 0
+	}
+	return 1 / (s.T1 + s.C2/f)
+}
+
+// Simulate integrates the *nonlinear* closed loop with a 4th-order
+// Runge-Kutta scheme:
+//
+//	q' = γ·(λ(t) − µ(f))
+//	f' = step·( m·(q−q_ref)/(h(f)·T_m0) + l·q'/(h(f)·T_l0) ),  h(f)=f²
+//
+// from (q0, f0) over horizon T with step dt, sampling every point.
+// λ is the workload (arrival-rate) input. Frequency is clamped to
+// [fmin, 1] and the queue to [0, qmax], matching the physical system.
+func (s System) Simulate(lambda func(t float64) float64, q0, f0, dt, horizon float64) ([]State, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if dt <= 0 || horizon <= 0 {
+		return nil, fmt.Errorf("stability: non-positive dt or horizon")
+	}
+	const (
+		fmin = 0.25
+		qmax = 64
+	)
+	clampF := func(f float64) float64 {
+		if f < fmin {
+			return fmin
+		}
+		if f > 1 {
+			return 1
+		}
+		return f
+	}
+	clampQ := func(q float64) float64 {
+		if q < 0 {
+			return 0
+		}
+		if q > qmax {
+			return qmax
+		}
+		return q
+	}
+
+	deriv := func(t, q, f float64) (dq, df float64) {
+		f = clampF(f)
+		dq = s.Gamma * (lambda(t) - s.Mu(f))
+		h := f * f
+		df = s.Step * (s.M*(q-s.QRef)/(h*s.TM0) + s.L*dq/(h*s.TL0))
+		return dq, df
+	}
+
+	n := int(horizon/dt) + 1
+	out := make([]State, 0, n)
+	q, f := q0, clampF(f0)
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		out = append(out, State{T: t, Q: q, F: f, U: s.Mu(f)})
+
+		k1q, k1f := deriv(t, q, f)
+		k2q, k2f := deriv(t+dt/2, q+dt/2*k1q, f+dt/2*k1f)
+		k3q, k3f := deriv(t+dt/2, q+dt/2*k2q, f+dt/2*k2f)
+		k4q, k4f := deriv(t+dt, q+dt*k3q, f+dt*k3f)
+		q = clampQ(q + dt/6*(k1q+2*k2q+2*k3q+k4q))
+		f = clampF(f + dt/6*(k1f+2*k2f+2*k3f+k4f))
+
+		if math.IsNaN(q) || math.IsNaN(f) || math.IsInf(q, 0) || math.IsInf(f, 0) {
+			return out, fmt.Errorf("stability: trajectory diverged at t=%g", t)
+		}
+	}
+	return out, nil
+}
+
+// StepResponse runs the canonical experiment behind Remarks 2 and 3: the
+// loop starts in equilibrium (λ = µ(f0), q = q_ref) and the workload
+// steps up by dLambda at t = 0. It returns the trajectory.
+func (s System) StepResponse(f0, dLambda, dt, horizon float64) ([]State, error) {
+	lam0 := s.Mu(f0)
+	lambda := func(t float64) float64 { return lam0 + dLambda }
+	return s.Simulate(lambda, s.QRef, f0, dt, horizon)
+}
+
+// ResponseMetrics quantifies a step-response trajectory.
+type ResponseMetrics struct {
+	// PeakQ is the maximum queue excursion above q_ref. The loop's
+	// integral action returns the queue to q_ref in steady state, so
+	// the peak *is* the transient.
+	PeakQ float64
+	// OvershootFrac is the frequency trajectory's overshoot past its
+	// final value, as a fraction of the net frequency change.
+	OvershootFrac float64
+	// SettleTime is the first time after which the frequency stays
+	// within 5% of its net change around the final value (-1 = never).
+	// Settling is measured on f rather than q because f has a
+	// well-defined net excursion under a workload step.
+	SettleTime float64
+	// FinalQ and FinalF are the trajectory's last state.
+	FinalQ, FinalF float64
+}
+
+// Analyze computes ResponseMetrics for a trajectory that starts at
+// equilibrium (q = q_ref, service rate matching arrivals).
+func (s System) Analyze(tr []State) ResponseMetrics {
+	if len(tr) == 0 {
+		return ResponseMetrics{SettleTime: -1}
+	}
+	first, final := tr[0], tr[len(tr)-1]
+	m := ResponseMetrics{FinalQ: final.Q, FinalF: final.F, SettleTime: -1}
+	peakF := first.F
+	rising := final.F >= first.F
+	for _, st := range tr {
+		if e := st.Q - s.QRef; e > m.PeakQ {
+			m.PeakQ = e
+		}
+		if rising && st.F > peakF {
+			peakF = st.F
+		} else if !rising && st.F < peakF {
+			peakF = st.F
+		}
+	}
+	net := math.Abs(final.F - first.F)
+	if net > 1e-9 {
+		if over := math.Abs(peakF-first.F) - net; over > 0 {
+			m.OvershootFrac = over / net
+		}
+	}
+	band := 0.05 * net
+	if band <= 0 {
+		band = 1e-3
+	}
+	for i := len(tr) - 1; i >= 0; i-- {
+		if math.Abs(tr[i].F-final.F) > band {
+			if i+1 < len(tr) {
+				m.SettleTime = tr[i+1].T
+			}
+			break
+		}
+		if i == 0 {
+			m.SettleTime = 0
+		}
+	}
+	return m
+}

@@ -1,0 +1,245 @@
+package stability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadSystems(t *testing.T) {
+	bad := []func(*System){
+		func(s *System) { s.M = 0 },
+		func(s *System) { s.Step = -1 },
+		func(s *System) { s.TM0 = 0 },
+		func(s *System) { s.Gamma = 0 },
+		func(s *System) { s.C2 = 0 },
+		func(s *System) { s.T1 = -1 },
+	}
+	for i, mut := range bad {
+		s := Default()
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRootsSatisfyCharacteristicEquation(t *testing.T) {
+	s := Default()
+	for _, f0 := range []float64{0.3, 0.5, 1.0} {
+		km, kl := complex(s.Km(f0), 0), complex(s.Kl(f0), 0)
+		r1, r2 := s.Roots(f0)
+		for _, r := range []complex128{r1, r2} {
+			res := r*r + kl*r + km
+			if math.Hypot(real(res), imag(res)) > 1e-12 {
+				t.Errorf("f0=%g: root %v violates characteristic equation (residual %v)", f0, r, res)
+			}
+		}
+	}
+}
+
+// TestRemark1 verifies: any positive parameter setting is stable.
+func TestRemark1StabilityForAllPositiveSettings(t *testing.T) {
+	f := func(m, l, step, tm, tl, gamma, t1, c2, f0 uint16) bool {
+		s := System{
+			M:     0.1 + float64(m%100)/10,
+			L:     0.1 + float64(l%100)/10,
+			Step:  0.001 + float64(step%100)/100,
+			TM0:   1 + float64(tm%200),
+			TL0:   1 + float64(tl%50),
+			Gamma: 0.1 + float64(gamma%50)/10,
+			T1:    float64(t1%10) / 10,
+			C2:    0.1 + float64(c2%20)/10,
+			QRef:  4,
+		}
+		op := 0.25 + float64(f0%76)/100 // 0.25..1.0
+		return s.Stable(op)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRemark2 verifies: smaller time delays improve settling time.
+func TestRemark2SmallerDelaysSettleFaster(t *testing.T) {
+	fast := Default()
+	slow := Default()
+	slow.TM0 *= 4
+	slow.TL0 *= 4
+	if fast.SettlingTime(1) >= slow.SettlingTime(1) {
+		t.Errorf("analytic settling: fast %g !< slow %g", fast.SettlingTime(1), slow.SettlingTime(1))
+	}
+	// And numerically, via the nonlinear loop.
+	trFast, err := fast.StepResponse(0.6, 0.2, 0.5, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trSlow, err := slow.StepResponse(0.6, 0.2, 0.5, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, ms := fast.Analyze(trFast), slow.Analyze(trSlow)
+	if mf.SettleTime < 0 || ms.SettleTime < 0 {
+		t.Fatalf("loop did not settle: fast %g slow %g", mf.SettleTime, ms.SettleTime)
+	}
+	if mf.SettleTime >= ms.SettleTime {
+		t.Errorf("numeric settling: fast %g !< slow %g", mf.SettleTime, ms.SettleTime)
+	}
+}
+
+// TestRemark3 verifies the damping band and the 2-8x delay ratio.
+func TestRemark3DelayRatioBand(t *testing.T) {
+	lo, hi := DelayRatioBounds(0.5)
+	if lo != 2 || hi != 8 {
+		t.Errorf("delay ratio bounds at K_l=1/2 = [%g,%g], want [2,8]", lo, hi)
+	}
+	// A system tuned inside the band has 0.5 <= xi <= 1 and small
+	// overshoot; the paper's 50/8 with m=l stays near it.
+	s := Default()
+	// Build a system with an exact mid-band ratio: TM0/TL0 = Kl/Km.
+	s.TL0 = 10
+	s.TM0 = 40 // ratio 4, mid-band
+	// Scale Gamma so K_l lands at 0.5 (the paper's "typical" value).
+	s.Gamma = 0.5 * s.TL0 / (s.L * s.K(1) * s.Step)
+	if xi := s.DampingRatio(1); xi < 0.5 || xi > 1.1 {
+		t.Errorf("mid-band damping ratio = %g, want ~[0.5,1]", xi)
+	}
+	if !s.Remark3OK(1) && s.DampingRatio(1) < 1.05 {
+		// allow boundary rounding
+		t.Errorf("Remark3OK false for mid-band system (xi=%g)", s.DampingRatio(1))
+	}
+	if ov := s.Overshoot(1); ov > 0.17 {
+		t.Errorf("overshoot %g for in-band damping, want <= ~16%%", ov)
+	}
+}
+
+func TestOvershootMonotoneInDamping(t *testing.T) {
+	s := Default()
+	// Increasing TL0 lowers K_l, hence xi, hence raises overshoot.
+	s2 := s
+	s2.TL0 *= 4
+	if s2.DampingRatio(1) >= s.DampingRatio(1) {
+		t.Fatal("larger TL0 should lower damping")
+	}
+	if s2.Overshoot(1) <= s.Overshoot(1) && s.DampingRatio(1) < 1 {
+		t.Error("lower damping should raise overshoot")
+	}
+	// Critically damped and beyond: zero overshoot.
+	s3 := s
+	s3.TL0 = 0.1
+	if s3.DampingRatio(1) < 1 {
+		t.Skip("could not construct overdamped system")
+	}
+	if s3.Overshoot(1) != 0 {
+		t.Error("overdamped system must not overshoot")
+	}
+}
+
+func TestMuModel(t *testing.T) {
+	s := Default()
+	if s.Mu(0) != 0 {
+		t.Error("Mu(0) must be 0")
+	}
+	// Monotone increasing in f, saturating toward 1/t1.
+	prev := 0.0
+	for f := 0.1; f <= 1.0; f += 0.1 {
+		mu := s.Mu(f)
+		if mu <= prev {
+			t.Fatalf("Mu not increasing at f=%g", f)
+		}
+		prev = mu
+	}
+	if lim := 1 / s.T1; s.Mu(1) >= lim {
+		t.Errorf("Mu(1)=%g should stay below the 1/t1=%g asymptote", s.Mu(1), lim)
+	}
+}
+
+func TestKApproximation(t *testing.T) {
+	// K(f0)/f0^2 should match dMu/df at f0.
+	s := Default()
+	for _, f0 := range []float64{0.3, 0.6, 1.0} {
+		h := 1e-6
+		num := (s.Mu(f0+h) - s.Mu(f0-h)) / (2 * h)
+		approx := s.K(f0) / (f0 * f0)
+		if math.Abs(num-approx)/num > 1e-4 {
+			t.Errorf("f0=%g: dMu/df=%g vs K/f^2=%g", f0, num, approx)
+		}
+	}
+}
+
+func TestStepResponseConverges(t *testing.T) {
+	s := Default()
+	tr, err := s.StepResponse(0.5, 0.3, 0.5, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Analyze(tr)
+	final := tr[len(tr)-1]
+	// The loop must settle with the service rate matching the new
+	// arrival rate, i.e. f rises.
+	if final.F <= 0.5 {
+		t.Errorf("frequency did not rise after workload step: %g", final.F)
+	}
+	want := s.Mu(0.5) + 0.3
+	if math.Abs(final.U-want)/want > 0.05 {
+		t.Errorf("service rate %g did not converge to arrival rate %g", final.U, want)
+	}
+	if m.SettleTime < 0 {
+		t.Error("step response never settled")
+	}
+}
+
+func TestSimulateBoundedForWildInputs(t *testing.T) {
+	s := Default()
+	lambda := func(t float64) float64 {
+		// Aggressive square-wave workload.
+		if int(t/100)%2 == 0 {
+			return 2.0
+		}
+		return 0.0
+	}
+	tr, err := s.Simulate(lambda, 0, 1, 0.5, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range tr {
+		if st.Q < 0 || st.Q > 64 || st.F < 0.25 || st.F > 1 {
+			t.Fatalf("state escaped bounds: %+v", st)
+		}
+	}
+}
+
+func TestSimulateRejectsBadArgs(t *testing.T) {
+	s := Default()
+	if _, err := s.Simulate(func(float64) float64 { return 1 }, 0, 1, 0, 10); err == nil {
+		t.Error("dt=0 accepted")
+	}
+	s.C2 = 0
+	if _, err := s.Simulate(func(float64) float64 { return 1 }, 0, 1, 0.5, 10); err == nil {
+		t.Error("invalid system accepted")
+	}
+}
+
+func TestAnalyzeEmptyTrajectory(t *testing.T) {
+	s := Default()
+	m := s.Analyze(nil)
+	if m.SettleTime != -1 {
+		t.Error("empty trajectory should not settle")
+	}
+}
+
+func TestCmplxSqrt(t *testing.T) {
+	cases := []complex128{4, -4, complex(3, 4), complex(3, -4), 0}
+	for _, c := range cases {
+		r := cmplxSqrt(c)
+		if sq := r * r; math.Hypot(real(sq-c), imag(sq-c)) > 1e-9 {
+			t.Errorf("sqrt(%v)^2 = %v", c, sq)
+		}
+	}
+}

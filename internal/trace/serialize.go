@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mcddvfs/internal/isa"
+)
+
+// Source is a stream of dynamic instructions. Generator produces them
+// synthetically; Reader replays a serialized trace. The simulator
+// consumes either.
+type Source interface {
+	// Next returns the next instruction; ok is false at end of stream.
+	Next() (in isa.Inst, ok bool)
+	// Name identifies the workload for reports.
+	Name() string
+}
+
+// Name implements Source for Generator.
+func (g *Generator) Name() string { return g.prof.Name }
+
+var _ Source = (*Generator)(nil)
+
+// Trace file format: a fixed header followed by fixed-width records.
+//
+//	magic   [4]byte  "MCDT"
+//	version uint32   1
+//	count   int64    number of instructions
+//	nameLen uint16 + name bytes
+//	records: PC u64 | Class u8 | flags u8 | Dep1 u32 | Dep2 u32 |
+//	         Target u64 | Addr u64
+const (
+	traceMagic   = "MCDT"
+	traceVersion = 1
+)
+
+// Write serializes every remaining instruction of src to w and returns
+// the number written. The count must be known up front, so Write takes
+// it explicitly (a Generator knows its Remaining).
+func Write(w io.Writer, src Source, count int64) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return 0, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(traceVersion)); err != nil {
+		return 0, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, count); err != nil {
+		return 0, err
+	}
+	name := src.Name()
+	if len(name) > 1<<16-1 {
+		return 0, fmt.Errorf("trace: name too long")
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(len(name))); err != nil {
+		return 0, err
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return 0, err
+	}
+
+	var rec [34]byte
+	var n int64
+	for n < count {
+		in, ok := src.Next()
+		if !ok {
+			return n, fmt.Errorf("trace: source ran dry at %d of %d instructions", n, count)
+		}
+		binary.LittleEndian.PutUint64(rec[0:], in.PC)
+		rec[8] = uint8(in.Class)
+		if in.Taken {
+			rec[9] = 1
+		} else {
+			rec[9] = 0
+		}
+		binary.LittleEndian.PutUint32(rec[10:], in.Dep1)
+		binary.LittleEndian.PutUint32(rec[14:], in.Dep2)
+		binary.LittleEndian.PutUint64(rec[18:], in.Target)
+		binary.LittleEndian.PutUint64(rec[26:], in.Addr)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, bw.Flush()
+}
+
+// Reader replays a serialized trace as a Source.
+type Reader struct {
+	r     *bufio.Reader
+	name  string
+	count int64
+	read  int64
+	err   error
+}
+
+// NewReader validates the header and prepares to stream records.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	var count int64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("trace: negative instruction count %d", count)
+	}
+	var nameLen uint16
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	return &Reader{r: br, name: string(name), count: count}, nil
+}
+
+// Name implements Source.
+func (t *Reader) Name() string { return t.name }
+
+// Count returns the total instruction count declared in the header.
+func (t *Reader) Count() int64 { return t.count }
+
+// Err returns the first stream error encountered by Next.
+func (t *Reader) Err() error { return t.err }
+
+// Next implements Source.
+func (t *Reader) Next() (isa.Inst, bool) {
+	if t.err != nil || t.read >= t.count {
+		return isa.Inst{}, false
+	}
+	var rec [34]byte
+	if _, err := io.ReadFull(t.r, rec[:]); err != nil {
+		t.err = fmt.Errorf("trace: truncated at instruction %d: %w", t.read, err)
+		return isa.Inst{}, false
+	}
+	t.read++
+	in := isa.Inst{
+		PC:     binary.LittleEndian.Uint64(rec[0:]),
+		Class:  isa.Class(rec[8]),
+		Taken:  rec[9] != 0,
+		Dep1:   binary.LittleEndian.Uint32(rec[10:]),
+		Dep2:   binary.LittleEndian.Uint32(rec[14:]),
+		Target: binary.LittleEndian.Uint64(rec[18:]),
+		Addr:   binary.LittleEndian.Uint64(rec[26:]),
+	}
+	if !in.Class.Valid() {
+		t.err = fmt.Errorf("trace: invalid class %d at instruction %d", rec[8], t.read-1)
+		return isa.Inst{}, false
+	}
+	return in, true
+}
+
+var _ Source = (*Reader)(nil)

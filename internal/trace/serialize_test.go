@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"mcddvfs/internal/isa"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	prof, _ := ByName("gsm_decode")
+	const n = 5000
+	gen, err := NewGenerator(prof, 21, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capture a reference copy from an identical generator.
+	ref, _ := NewGenerator(prof, 21, n)
+	want := make([]isa.Inst, 0, n)
+	for {
+		in, ok := ref.Next()
+		if !ok {
+			break
+		}
+		want = append(want, in)
+	}
+
+	var buf bytes.Buffer
+	wrote, err := Write(&buf, gen, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrote != n {
+		t.Fatalf("wrote %d, want %d", wrote, n)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "gsm_decode" || r.Count() != n {
+		t.Errorf("header = (%q,%d)", r.Name(), r.Count())
+	}
+	for i := 0; i < n; i++ {
+		in, ok := r.Next()
+		if !ok {
+			t.Fatalf("reader dry at %d: %v", i, r.Err())
+		}
+		if in != want[i] {
+			t.Fatalf("instruction %d mismatch:\n got %+v\nwant %+v", i, in, want[i])
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("reader returned an instruction past the declared count")
+	}
+	if r.Err() != nil {
+		t.Errorf("unexpected stream error: %v", r.Err())
+	}
+}
+
+func TestWriteSourceRunsDry(t *testing.T) {
+	prof, _ := ByName("gzip")
+	gen, _ := NewGenerator(prof, 1, 100)
+	var buf bytes.Buffer
+	if _, err := Write(&buf, gen, 200); err == nil {
+		t.Error("over-count accepted")
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("MCDTxxxx"),
+	}
+	for i, b := range cases {
+		if _, err := NewReader(bytes.NewReader(b)); err == nil {
+			t.Errorf("case %d: accepted garbage", i)
+		}
+	}
+}
+
+func TestReaderDetectsTruncation(t *testing.T) {
+	prof, _ := ByName("gzip")
+	gen, _ := NewGenerator(prof, 1, 50)
+	var buf bytes.Buffer
+	if _, err := Write(&buf, gen, 50); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-10]
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if r.Err() == nil {
+		t.Error("truncation not reported")
+	}
+	if n >= 50 {
+		t.Errorf("read %d instructions from a truncated stream", n)
+	}
+}
+
+func TestReaderDetectsBadClass(t *testing.T) {
+	prof, _ := ByName("gzip")
+	gen, _ := NewGenerator(prof, 1, 2)
+	var buf bytes.Buffer
+	if _, err := Write(&buf, gen, 2); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Corrupt the first record's class byte (header is 4+4+8+2+4 = 22
+	// bytes for the 4-char "gzip" name).
+	b[22+8] = 0xFF
+	r, err := NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("invalid class accepted")
+	}
+	if r.Err() == nil {
+		t.Error("invalid class not reported")
+	}
+}
+
+func TestReaderImplementsSource(t *testing.T) {
+	var _ Source = (*Reader)(nil)
+	var _ Source = (*Generator)(nil)
+	var _ io.Reader // keep io imported for clarity of intent
+}
