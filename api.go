@@ -143,7 +143,10 @@ type RunSpec struct {
 	// Machine, when non-nil, overrides the Table-1 machine.
 	Machine *MachineConfig
 	// TuneAdaptive, when non-nil, adjusts the adaptive controller of
-	// each domain before the run (ignored for other schemes).
+	// each domain before the run (ignored for other schemes). It must
+	// be a pure function of its argument: besides configuring the
+	// controllers, it is replayed against scratch per-domain defaults
+	// to canonicalize its effect for the in-process result cache.
 	TuneAdaptive func(*ControllerConfig)
 }
 

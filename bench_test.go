@@ -23,6 +23,15 @@ func benchOpt(insts int64, benches ...string) experiment.Options {
 	return experiment.Options{Instructions: insts, Seed: 1, Benchmarks: benches}
 }
 
+// uncached disables the harness result cache for the duration of a
+// benchmark. Without this, every iteration after the first would be a
+// cache hit and ns/op would measure a map lookup, not a simulation.
+func uncached(b *testing.B) {
+	b.Helper()
+	experiment.SetCaching(false)
+	b.Cleanup(func() { experiment.SetCaching(true) })
+}
+
 // BenchmarkTable1Config regenerates the simulation-parameter table.
 func BenchmarkTable1Config(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -36,6 +45,7 @@ func BenchmarkTable1Config(b *testing.B) {
 // BenchmarkTable2Classification regenerates the benchmark
 // classification table (full suite, reduced budget).
 func BenchmarkTable2Classification(b *testing.B) {
+	uncached(b)
 	opt := benchOpt(100000)
 	for i := 0; i < b.N; i++ {
 		rep, classes, err := experiment.Table2(opt)
@@ -50,6 +60,7 @@ func BenchmarkTable2Classification(b *testing.B) {
 // BenchmarkFigure7FrequencyTrace regenerates the epic_decode FP-domain
 // frequency trajectory under the adaptive controller.
 func BenchmarkFigure7FrequencyTrace(b *testing.B) {
+	uncached(b)
 	opt := benchOpt(200000)
 	for i := 0; i < b.N; i++ {
 		rep, err := experiment.Figure7(opt)
@@ -65,6 +76,7 @@ func BenchmarkFigure7FrequencyTrace(b *testing.B) {
 // BenchmarkFigure8Spectrum regenerates the INT-queue variance spectrum
 // of epic_decode.
 func BenchmarkFigure8Spectrum(b *testing.B) {
+	uncached(b)
 	opt := benchOpt(150000)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.Figure8(opt); err != nil {
@@ -87,6 +99,7 @@ func figureMatrix(b *testing.B) *experiment.Matrix {
 // BenchmarkFigure9EnergySavings regenerates the per-benchmark energy
 // savings comparison and reports the adaptive scheme's suite average.
 func BenchmarkFigure9EnergySavings(b *testing.B) {
+	uncached(b)
 	for i := 0; i < b.N; i++ {
 		m := figureMatrix(b)
 		rep := m.Figure9()
@@ -100,6 +113,7 @@ func BenchmarkFigure9EnergySavings(b *testing.B) {
 // BenchmarkFigure10PerfDegradation regenerates the performance
 // degradation comparison.
 func BenchmarkFigure10PerfDegradation(b *testing.B) {
+	uncached(b)
 	for i := 0; i < b.N; i++ {
 		m := figureMatrix(b)
 		_ = m.Figure10()
@@ -110,6 +124,7 @@ func BenchmarkFigure10PerfDegradation(b *testing.B) {
 // BenchmarkFigure11FastGroupEDP regenerates the fast-group EDP
 // comparison (adaptive vs the fixed-interval schemes).
 func BenchmarkFigure11FastGroupEDP(b *testing.B) {
+	uncached(b)
 	fast := []string{"adpcm_encode", "adpcm_decode", "g721_encode", "gsm_decode", "art"}
 	for i := 0; i < b.N; i++ {
 		m, err := experiment.RunMatrix(benchOpt(60000, fast...))
@@ -126,6 +141,7 @@ func BenchmarkFigure11FastGroupEDP(b *testing.B) {
 
 // BenchmarkTable3PIDIntervals regenerates the PID interval-length sweep.
 func BenchmarkTable3PIDIntervals(b *testing.B) {
+	uncached(b)
 	opt := benchOpt(60000)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.Table3(opt, []string{"adpcm_encode", "gsm_decode"}); err != nil {
@@ -158,6 +174,7 @@ func BenchmarkStabilityRemarks(b *testing.B) {
 // BenchmarkAblationControllerFeatures regenerates the controller
 // feature ablation on two representative benchmarks.
 func BenchmarkAblationControllerFeatures(b *testing.B) {
+	uncached(b)
 	opt := benchOpt(50000)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.Ablation(opt, []string{"adpcm_encode", "gzip"}); err != nil {
@@ -169,6 +186,7 @@ func BenchmarkAblationControllerFeatures(b *testing.B) {
 // BenchmarkTransitionStyles regenerates the XScale-vs-Transmeta
 // transition-model comparison.
 func BenchmarkTransitionStyles(b *testing.B) {
+	uncached(b)
 	opt := benchOpt(50000)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.TransitionStyles(opt, []string{"adpcm_encode", "gzip"}); err != nil {
@@ -184,6 +202,7 @@ func BenchmarkTransitionStyles(b *testing.B) {
 // BenchmarkSimulatorThroughput measures raw simulated instructions per
 // second of the MCD machine with no DVFS controller attached.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	uncached(b)
 	const insts = 100000
 	for i := 0; i < b.N; i++ {
 		res, err := experiment.RunOne("gzip", experiment.SchemeNone, benchOpt(insts))
@@ -244,6 +263,7 @@ func BenchmarkMultitaperSpectrum(b *testing.B) {
 // BenchmarkGlobalCoupling regenerates the per-domain vs globally
 // coupled scaling comparison (extension E1).
 func BenchmarkGlobalCoupling(b *testing.B) {
+	uncached(b)
 	opt := benchOpt(50000)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.GlobalComparison(opt, []string{"gzip", "swim"}); err != nil {
@@ -255,6 +275,7 @@ func BenchmarkGlobalCoupling(b *testing.B) {
 // BenchmarkQRefSweep regenerates the reference-occupancy sensitivity
 // sweep (extension E2).
 func BenchmarkQRefSweep(b *testing.B) {
+	uncached(b)
 	opt := benchOpt(50000)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.QRefSweep(opt, []string{"gsm_decode"}); err != nil {
@@ -266,6 +287,7 @@ func BenchmarkQRefSweep(b *testing.B) {
 // BenchmarkInterfaceStudy regenerates the synchronization-interface
 // comparison (extension E3).
 func BenchmarkInterfaceStudy(b *testing.B) {
+	uncached(b)
 	opt := benchOpt(40000)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.InterfaceStudy(opt, []string{"gsm_decode"}); err != nil {
@@ -277,6 +299,7 @@ func BenchmarkInterfaceStudy(b *testing.B) {
 // BenchmarkPartitionStudy regenerates the 4- vs 5-domain partition
 // comparison (extension E4).
 func BenchmarkPartitionStudy(b *testing.B) {
+	uncached(b)
 	opt := benchOpt(40000)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.PartitionStudy(opt, []string{"gzip"}); err != nil {
@@ -287,6 +310,7 @@ func BenchmarkPartitionStudy(b *testing.B) {
 
 // BenchmarkDelaySweep regenerates the time-delay sweep (extension E5).
 func BenchmarkDelaySweep(b *testing.B) {
+	uncached(b)
 	opt := benchOpt(30000)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.DelaySweep(opt, []string{"gsm_decode"}); err != nil {

@@ -1,0 +1,118 @@
+// Command benchjson converts `go test -bench` output into a small JSON
+// document, so benchmark baselines can be recorded in the repository
+// (BENCH_baseline.json) and compared across commits.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkSimulatorThroughput -benchmem . | go run ./cmd/benchjson
+//	go test -bench . ./... | go run ./cmd/benchjson -out BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name string `json:"name"`
+	// Iterations is the b.N the line reports.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the ns/op column.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every remaining "value unit" pair on the line
+	// (custom ReportMetric units like sim-insts/s, plus B/op and
+	// allocs/op when -benchmem is on).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Baseline is the document benchjson emits.
+type Baseline struct {
+	// Context lines (goos/goarch/pkg/cpu) from the bench output.
+	Context map[string]string `json:"context,omitempty"`
+	// Benchmarks in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	base := Baseline{Context: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+":"); ok {
+				base.Context[key] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok := parseLine(line)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping unparseable line: %s\n", line)
+			continue
+		}
+		base.Benchmarks = append(base.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(base.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	blob, err := json.MarshalIndent(&base, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob) //nolint:errcheck // stdout
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one "BenchmarkName-8  5  87828868 ns/op  1138580
+// sim-insts/s  ..." line: a name, an iteration count, then alternating
+// value/unit pairs.
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		if f[i+1] == "ns/op" {
+			b.NsPerOp = v
+		} else {
+			b.Metrics[f[i+1]] = v
+		}
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, true
+}

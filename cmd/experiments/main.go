@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"mcddvfs/internal/experiment"
+	"mcddvfs/internal/profiling"
 )
 
 func main() {
@@ -30,8 +31,26 @@ func main() {
 		out    = flag.String("out", "", "directory to also write per-artifact .txt files")
 		asJSON = flag.Bool("json", false, "with -out, also write per-artifact .json files")
 		asSVG  = flag.Bool("svg", false, "with -out, also render figures 7-11 as .svg files")
+
+		useCache   = flag.Bool("cache", true, "memoize simulation results across artifacts (identical output, fewer simulations)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	experiment.SetCaching(*useCache)
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	// Runs on the success path; error paths below os.Exit and lose the
+	// profile, which is fine — a failed run is not worth profiling.
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+	}()
 
 	want := map[string]bool{}
 	switch {
@@ -199,5 +218,10 @@ func main() {
 	if sel("seeds") {
 		rep, err := experiment.SeedStudy(opt, []string{"adpcm_encode", "gzip", "swim"}, 5)
 		emit(rep, err)
+	}
+
+	if *useCache {
+		hits, misses := experiment.CacheStats()
+		fmt.Fprintf(os.Stderr, "experiments: %d simulations, %d served from cache\n", misses, hits)
 	}
 }

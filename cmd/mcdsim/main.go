@@ -18,6 +18,7 @@ import (
 	"mcddvfs/internal/dvfs"
 	"mcddvfs/internal/experiment"
 	"mcddvfs/internal/mcd"
+	"mcddvfs/internal/profiling"
 	"mcddvfs/internal/queue"
 	"mcddvfs/internal/trace"
 )
@@ -37,8 +38,22 @@ func main() {
 		noForward = flag.Bool("noforward", false, "disable store-to-load forwarding")
 		tokenRing = flag.Bool("tokenring", false, "use token-ring synchronization interfaces")
 		transmeta = flag.Bool("transmeta", false, "use Transmeta-style (idle-through) DVFS transitions")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcdsim:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "mcdsim:", err)
+		}
+	}()
 
 	if *list {
 		names := trace.Names()

@@ -77,6 +77,12 @@ type Domain struct {
 	// both feed the DVFS-overhead accounting.
 	transitions int
 	slewTime    Time
+
+	// Period memoization: outside transitions the frequency is constant
+	// for long stretches, so the divide+round in PeriodForMHz is paid
+	// once per frequency value instead of once per cycle.
+	memoFreqMHz float64
+	memoPeriod  Time
 }
 
 // NewDomain creates a domain whose first clock edge is at time 0.
@@ -193,7 +199,7 @@ func (d *Domain) Advance() Time {
 	edge := d.nextEdge
 	d.lastEdge = edge
 	d.cycles++
-	period := PeriodForMHz(d.FreqMHz(edge))
+	period := d.PeriodForFreq(d.FreqMHz(edge))
 	next := edge + period + d.jitterSample()
 	if next <= edge {
 		next = edge + 1 // jitter must never stall or reverse time
@@ -204,6 +210,17 @@ func (d *Domain) Advance() Time {
 
 // LastEdge returns the time of the most recently consumed edge.
 func (d *Domain) LastEdge() Time { return d.lastEdge }
+
+// PeriodForFreq returns PeriodForMHz(mhz) through the domain's
+// single-entry memo. The mapping is identical to PeriodForMHz; only the
+// repeated divide+round for an unchanged frequency is skipped.
+func (d *Domain) PeriodForFreq(mhz float64) Time {
+	if mhz != d.memoFreqMHz {
+		d.memoFreqMHz = mhz
+		d.memoPeriod = PeriodForMHz(mhz)
+	}
+	return d.memoPeriod
+}
 
 // jitterSample draws one edge-jitter value: zero-mean Gaussian with the
 // configured peak treated as 3 sigma, truncated at the peak.

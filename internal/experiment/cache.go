@@ -1,0 +1,145 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"mcddvfs/internal/control"
+	"mcddvfs/internal/isa"
+	"mcddvfs/internal/mcd"
+	"mcddvfs/internal/trace"
+)
+
+// The result cache memoizes RunProfile outcomes within a process,
+// keyed by a content hash of everything that determines a simulation:
+// the workload profile, the scheme, and the canonicalized options
+// (instruction budget, seed, machine configuration, PID interval, and
+// the *effect* of MutateAdaptive). The harness regenerates Tables 2-4,
+// Figures 7-11 and the E1-E5 extensions from overlapping (benchmark,
+// scheme, options) triples; with the cache each distinct triple is
+// simulated exactly once per process.
+//
+// Cached *mcd.Result values are shared between callers and MUST be
+// treated as read-only. The one historical mutation site — RunMatrix
+// stripping QueueSamples from non-baseline cells — now copies the
+// struct first.
+//
+// A simulation is deterministic, so caching never changes any value a
+// caller observes; it only removes duplicate work. Entries use a
+// done-channel so concurrent requests for the same key run one
+// simulation and share the result (single-flight).
+var resultCache = struct {
+	mu      sync.Mutex
+	enabled bool
+	entries map[[sha256.Size]byte]*cacheEntry
+	hits    uint64
+	misses  uint64
+}{enabled: true, entries: make(map[[sha256.Size]byte]*cacheEntry)}
+
+type cacheEntry struct {
+	done chan struct{}
+	res  *mcd.Result
+	err  error
+}
+
+// SetCaching enables or disables in-process result memoization. It is
+// enabled by default; disabling is useful for A/B-validating that the
+// cache is transparent (artifacts must be byte-identical either way).
+func SetCaching(on bool) {
+	resultCache.mu.Lock()
+	defer resultCache.mu.Unlock()
+	resultCache.enabled = on
+}
+
+// ResetCache drops every memoized result and zeroes the hit/miss
+// counters.
+func ResetCache() {
+	resultCache.mu.Lock()
+	defer resultCache.mu.Unlock()
+	resultCache.entries = make(map[[sha256.Size]byte]*cacheEntry)
+	resultCache.hits = 0
+	resultCache.misses = 0
+}
+
+// CacheStats reports how many RunProfile calls were served from memory
+// versus simulated.
+func CacheStats() (hits, misses uint64) {
+	resultCache.mu.Lock()
+	defer resultCache.mu.Unlock()
+	return resultCache.hits, resultCache.misses
+}
+
+// cacheKey hashes the complete simulation input. Options.Benchmarks is
+// deliberately excluded: it selects which runs happen, not what any
+// individual run computes. MutateAdaptive is a function and cannot be
+// hashed directly; it is canonicalized by its observable effect — the
+// controller configuration it produces from each domain's default.
+// opt must already have defaults applied.
+func cacheKey(prof trace.Profile, scheme Scheme, opt Options) ([sha256.Size]byte, error) {
+	mutated := make([]control.Config, isa.NumExecDomains)
+	for d := 0; d < isa.NumExecDomains; d++ {
+		cfg := control.DefaultConfig(isa.ExecDomain(d))
+		if opt.MutateAdaptive != nil {
+			opt.MutateAdaptive(&cfg)
+		}
+		mutated[d] = cfg
+	}
+	key := struct {
+		Profile          trace.Profile
+		Scheme           Scheme
+		Instructions     int64
+		Seed             int64
+		PIDIntervalTicks int
+		Machine          mcd.Config
+		Adaptive         []control.Config
+	}{
+		Profile:          prof,
+		Scheme:           scheme,
+		Instructions:     opt.Instructions,
+		Seed:             opt.Seed,
+		PIDIntervalTicks: opt.PIDIntervalTicks,
+		Machine:          opt.machine(),
+		Adaptive:         mutated,
+	}
+	blob, err := json.Marshal(&key)
+	if err != nil {
+		return [sha256.Size]byte{}, fmt.Errorf("experiment: cache key: %w", err)
+	}
+	return sha256.Sum256(blob), nil
+}
+
+// cachedRun returns the memoized result for (prof, scheme, opt) or
+// simulates it via run. Exactly one caller simulates a given key; any
+// concurrent callers block on its completion and share the outcome.
+func cachedRun(prof trace.Profile, scheme Scheme, opt Options, run func() (*mcd.Result, error)) (*mcd.Result, error) {
+	resultCache.mu.Lock()
+	if !resultCache.enabled {
+		resultCache.mu.Unlock()
+		return run()
+	}
+	k, err := cacheKey(prof, scheme, opt)
+	if err != nil {
+		resultCache.mu.Unlock()
+		return nil, err
+	}
+	if e, ok := resultCache.entries[k]; ok {
+		resultCache.hits++
+		resultCache.mu.Unlock()
+		<-e.done
+		return e.res, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	resultCache.entries[k] = e
+	resultCache.misses++
+	resultCache.mu.Unlock()
+
+	func() {
+		// Close even if run panics so waiters are not stranded; the
+		// panic still propagates to this (first) caller.
+		defer close(e.done)
+		e.res, e.err = run()
+	}()
+	return e.res, e.err
+}

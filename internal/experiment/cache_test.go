@@ -1,0 +1,215 @@
+package experiment
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mcddvfs/internal/control"
+)
+
+// smallOpt keeps cache tests fast: two benchmarks, short runs.
+func smallOpt() Options {
+	return Options{Instructions: 20000, Seed: 3, Benchmarks: []string{"gzip", "swim"}}
+}
+
+// TestCacheTransparent asserts the determinism contract: a cached and
+// an uncached RunMatrix produce identical metrics, cell for cell.
+func TestCacheTransparent(t *testing.T) {
+	defer func() { SetCaching(true); ResetCache() }()
+	opt := smallOpt()
+
+	SetCaching(false)
+	cold, err := RunMatrix(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetCaching(true)
+	ResetCache()
+	warm, err := RunMatrix(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, b := range opt.Benchmarks {
+		for s, want := range cold.Results[b] {
+			got := warm.Results[b][s]
+			if got == nil {
+				t.Fatalf("%s/%s missing from cached matrix", b, s)
+			}
+			if !reflect.DeepEqual(want.Metrics, got.Metrics) {
+				t.Errorf("%s/%s metrics differ: uncached %+v cached %+v", b, s, want.Metrics, got.Metrics)
+			}
+			if want.IPC != got.IPC || want.L1DMissRate != got.L1DMissRate {
+				t.Errorf("%s/%s rates differ", b, s)
+			}
+		}
+	}
+}
+
+// TestCacheDedupes asserts each distinct (profile, scheme, options)
+// triple is simulated once per process: a second identical matrix is
+// served entirely from memory, and the shared baseline results keep
+// their QueueSamples even though the matrix strips its own copies.
+func TestCacheDedupes(t *testing.T) {
+	defer func() { SetCaching(true); ResetCache() }()
+	opt := smallOpt()
+	SetCaching(true)
+	ResetCache()
+
+	m1, err := RunMatrix(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, misses1 := CacheStats()
+	cells := uint64(len(opt.Benchmarks) * (1 + len(ControlledSchemes())))
+	if misses1 != cells {
+		t.Fatalf("first matrix simulated %d cells, want %d", misses1, cells)
+	}
+
+	m2, err := RunMatrix(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses2 := CacheStats()
+	if misses2 != cells {
+		t.Fatalf("second matrix re-simulated: %d misses, want still %d", misses2, cells)
+	}
+	if hits != cells {
+		t.Fatalf("second matrix hit %d times, want %d", hits, cells)
+	}
+	for _, b := range opt.Benchmarks {
+		if m1.Results[b][SchemeNone] != m2.Results[b][SchemeNone] {
+			t.Errorf("%s baseline not shared between matrices", b)
+		}
+		if len(m1.Results[b][SchemeNone].QueueSamples) == 0 {
+			t.Errorf("%s baseline lost its queue samples", b)
+		}
+		if m1.Results[b][SchemeAdaptive].QueueSamples != nil {
+			t.Errorf("%s adaptive cell kept queue samples", b)
+		}
+	}
+
+	// A distinct seed is a different simulation, never a hit.
+	opt2 := opt
+	opt2.Seed = opt.Seed + 1
+	if _, err := RunOne("gzip", SchemeAdaptive, opt2); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := CacheStats(); misses != cells+1 {
+		t.Errorf("changed seed did not trigger a simulation")
+	}
+}
+
+// TestCacheKeyCanonicalizesMutator asserts MutateAdaptive is keyed by
+// its effect, not its identity: two distinct closures with the same
+// effect share one simulation, and an effectively different closure
+// does not.
+func TestCacheKeyCanonicalizesMutator(t *testing.T) {
+	defer func() { SetCaching(true); ResetCache() }()
+	SetCaching(true)
+	ResetCache()
+	opt := smallOpt()
+
+	opt.MutateAdaptive = func(c *control.Config) { c.TM0 *= 2 }
+	if _, err := RunOne("gzip", SchemeAdaptive, opt); err != nil {
+		t.Fatal(err)
+	}
+	opt.MutateAdaptive = func(c *control.Config) { c.TM0 *= 2 } // same effect, new closure
+	if _, err := RunOne("gzip", SchemeAdaptive, opt); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := CacheStats(); hits != 1 || misses != 1 {
+		t.Errorf("same-effect mutators: %d hits / %d misses, want 1/1", hits, misses)
+	}
+
+	opt.MutateAdaptive = func(c *control.Config) { c.TM0 *= 3 }
+	if _, err := RunOne("gzip", SchemeAdaptive, opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := CacheStats(); misses != 2 {
+		t.Errorf("different-effect mutator was served from cache")
+	}
+}
+
+// TestCacheSingleFlight asserts concurrent identical requests run one
+// simulation and share its result.
+func TestCacheSingleFlight(t *testing.T) {
+	defer func() { SetCaching(true); ResetCache() }()
+	SetCaching(true)
+	ResetCache()
+	opt := smallOpt()
+
+	const callers = 8
+	results := make([]interface{}, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := RunOne("gzip", SchemeAdaptive, opt)
+			if err != nil {
+				results[i] = err
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different result pointer", i)
+		}
+	}
+	if hits, misses := CacheStats(); misses != 1 {
+		t.Errorf("%d simulations for one key (hits %d), want 1", misses, hits)
+	}
+}
+
+// TestForEachParallelErrorIndex asserts the pool reports the
+// lowest-index failure, wrapped with that index, and stops launching
+// new tasks after a failure.
+func TestForEachParallelErrorIndex(t *testing.T) {
+	sentinel := errors.New("boom")
+	var ran atomic.Int64
+	err := forEachParallel(1000, func(i int) error {
+		ran.Add(1)
+		if i == 3 || i == 700 {
+			return sentinel
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("no error reported")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("error does not wrap the task error: %v", err)
+	}
+	if !strings.HasPrefix(err.Error(), "task 3:") {
+		t.Errorf("error %q does not name the lowest failing task", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Errorf("pool ran all %d tasks after a failure", n)
+	}
+}
+
+// TestForEachParallelCompletes asserts every index runs exactly once on
+// the success path.
+func TestForEachParallelCompletes(t *testing.T) {
+	const n = 257
+	var seen [n]atomic.Int32
+	if err := forEachParallel(n, func(i int) error {
+		seen[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Errorf("task %d ran %d times", i, got)
+		}
+	}
+}

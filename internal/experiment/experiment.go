@@ -7,7 +7,6 @@ package experiment
 import (
 	"fmt"
 	"io"
-	"runtime"
 	"strings"
 	"sync"
 
@@ -101,8 +100,19 @@ func RunOne(bench string, scheme Scheme, opt Options) (*mcd.Result, error) {
 }
 
 // RunProfile simulates an arbitrary workload profile under one scheme.
+// Results are memoized per process (see cache.go): two calls with
+// inputs that hash to the same simulation share one run and one
+// *mcd.Result, so callers must not mutate what they get back.
 func RunProfile(prof trace.Profile, scheme Scheme, opt Options) (*mcd.Result, error) {
 	opt = opt.withDefaults()
+	return cachedRun(prof, scheme, opt, func() (*mcd.Result, error) {
+		return runProfile(prof, scheme, opt)
+	})
+}
+
+// runProfile is the uncached simulation. opt must already have defaults
+// applied.
+func runProfile(prof trace.Profile, scheme Scheme, opt Options) (*mcd.Result, error) {
 	cfg := opt.machine()
 	gen, err := trace.NewGenerator(prof, opt.Seed+11, opt.Instructions)
 	if err != nil {
@@ -216,38 +226,28 @@ func RunMatrix(opt Options) (*Matrix, error) {
 		}
 	}
 
-	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
-	)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for _, c := range cells {
-		wg.Add(1)
-		go func(c cell) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, err := RunOne(c.bench, c.scheme, opt)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			if c.scheme != SchemeNone {
-				// Only baseline occupancy series feed the classifier;
-				// drop the rest to keep the full matrix small.
-				res.QueueSamples = nil
-			}
-			m.Results[c.bench][c.scheme] = res
-		}(c)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	var mu sync.Mutex
+	err := forEachParallel(len(cells), func(i int) error {
+		c := cells[i]
+		res, err := RunOne(c.bench, c.scheme, opt)
+		if err != nil {
+			return err
+		}
+		if c.scheme != SchemeNone {
+			// Only baseline occupancy series feed the classifier; drop
+			// the rest to keep the full matrix small. Results may be
+			// shared through the cache, so strip a copy.
+			cp := *res
+			cp.QueueSamples = nil
+			res = &cp
+		}
+		mu.Lock()
+		m.Results[c.bench][c.scheme] = res
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return m, nil
 }

@@ -1,39 +1,63 @@
 package experiment
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// forEachParallel runs fn(0..n-1) across GOMAXPROCS workers and returns
-// the first error. Every task must be independent; the experiment
-// harness qualifies because each simulation is a self-contained,
-// internally deterministic machine.
+// forEachParallel runs fn(0..n-1) on a fixed pool of min(GOMAXPROCS, n)
+// workers pulling task indices from a channel, and returns the error of
+// the lowest-numbered failing task wrapped with that index. After the
+// first failure workers stop picking up new tasks (already-started ones
+// finish). Every task must be independent; the experiment harness
+// qualifies because each simulation is a self-contained, internally
+// deterministic machine.
 func forEachParallel(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if err := fn(i); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-			}
-		}(i)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
 	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		errIdx  = -1
+		taskErr error
+		failed  atomic.Bool
+	)
+	tasks := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				if failed.Load() {
+					continue // drain remaining tasks without running them
+				}
+				if err := fn(i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx = i
+						taskErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		tasks <- i
+	}
+	close(tasks)
 	wg.Wait()
-	return firstErr
+	if taskErr != nil {
+		return fmt.Errorf("task %d: %w", errIdx, taskErr)
+	}
+	return nil
 }

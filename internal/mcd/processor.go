@@ -45,10 +45,10 @@ type Processor struct {
 	fetchDom *clock.Domain // nil unless SplitFrontEnd
 	queues   [isa.NumExecDomains]*queue.Queue[*uop]
 	lsqCount int
-	// storeAddrs counts in-flight stores per 8-byte-aligned address,
+	// storeCounts tracks in-flight stores per 8-byte-aligned address,
 	// backing store-to-load forwarding.
-	storeAddrs map[uint64]int
-	forwarded  uint64
+	storeCounts *storeCounter
+	forwarded   uint64
 	// inflight counts dispatched-but-uncommitted uops per domain,
 	// backing the deep-sleep idleness test.
 	inflight [isa.NumExecDomains]int
@@ -59,7 +59,32 @@ type Processor struct {
 	pred *bpred.Unit
 	mem  *cache.Hierarchy
 
-	meters map[string]*power.Meter
+	// Per-domain energy meters, resolved once at construction so the
+	// per-cycle paths never hash a domain name. fetchMeter is non-nil
+	// only on split-front-end machines.
+	feMeter    *power.Meter
+	fetchMeter *power.Meter
+	execMeters [isa.NumExecDomains]*power.Meter
+
+	// uopFree recycles uop structs: the ROB bounds live uops, so after
+	// warm-up dispatch never allocates. deferredBranch is a committed
+	// blocking branch whose recycle waits until fetch has observed its
+	// resolution (fetch still holds the pointer).
+	uopFree        []*uop
+	deferredBranch *uop
+	// issueScratch is the reusable issue-index buffer for execCycle.
+	issueScratch []int
+
+	// Single-entry voltage memos, one per metered domain: outside
+	// transitions the frequency is constant for long stretches, so the
+	// clamp+interpolate in Range.VoltageFor is paid once per frequency
+	// value instead of once per cycle. Slot NumExecDomains is the
+	// front end's.
+	voltFreq [isa.NumExecDomains + 1]float64
+	voltV    [isa.NumExecDomains + 1]float64
+
+	// syncWin caches cfg.SyncWindow() for the issue inner loop.
+	syncWin clock.Time
 
 	controllers [isa.NumExecDomains]Controller
 	samplers    [isa.NumExecDomains]*queue.Sampler
@@ -102,12 +127,20 @@ func New(cfg Config) (*Processor, error) {
 		win:         newWindow(cfg.ROBSize + 1024),
 		pred:        bpred.DefaultUnit(),
 		mem:         cache.NewHierarchy(cfg.Cache),
-		meters:      make(map[string]*power.Meter, 4),
 		physIntFree: cfg.PhysInt,
 		physFPFree:  cfg.PhysFP,
 		nextSeq:     1, // seq 0 is the "operand ready" sentinel
-		storeAddrs:  make(map[uint64]int),
+		storeCounts: newStoreCounter(cfg.LSQSize),
 	}
+	// At most ROBSize uops are in flight, plus one committed blocking
+	// branch awaiting its fetch-side release; one contiguous slab seeds
+	// the free list so steady-state dispatch is allocation-free.
+	slab := make([]uop, cfg.ROBSize+1)
+	p.uopFree = make([]*uop, 0, cfg.ROBSize+1)
+	for i := range slab {
+		p.uopFree = append(p.uopFree, &slab[i])
+	}
+	p.issueScratch = make([]int, 0, cfg.IssueWidth)
 
 	if cfg.ControlFrontEnd && !cfg.SplitFrontEnd {
 		return nil, fmt.Errorf("mcd: ControlFrontEnd requires SplitFrontEnd")
@@ -139,6 +172,7 @@ func New(cfg Config) (*Processor, error) {
 	p.sched = clock.NewScheduler(p.fe, p.exec[0], p.exec[1], p.exec[2], p.sampling)
 
 	syncWin := cfg.SyncWindow()
+	p.syncWin = syncWin
 	feWin := clock.Time(0)
 	if cfg.SplitFrontEnd {
 		feWin = syncWin
@@ -160,22 +194,23 @@ func New(cfg Config) (*Processor, error) {
 	p.aluPool[isa.DomainLS] = newUnitPool(cfg.MemPorts)
 	p.longPool[isa.DomainLS] = newUnitPool(1) // unused; keeps indexing uniform
 
-	for _, name := range []string{NameFrontEnd, NameInt, NameFP, NameLS} {
-		model := cfg.Power[name]
-		if name == NameFrontEnd && cfg.SplitFrontEnd {
-			// Split the front-end energy budget across the two new
-			// domains: fetch (I-cache + predictor) ~45%, dispatch
-			// (rename/ROB/commit) ~55%.
-			fetchModel := model
-			fetchModel.Name = NameFetch
-			fetchModel.SwitchedCapF *= 0.45
-			fetchModel.LeakagePerV *= 0.45
-			p.meters[NameFetch] = power.NewMeter(fetchModel)
-			model.SwitchedCapF *= 0.55
-			model.LeakagePerV *= 0.55
-		}
-		p.meters[name] = power.NewMeter(model)
+	feModel := cfg.Power[NameFrontEnd]
+	if cfg.SplitFrontEnd {
+		// Split the front-end energy budget across the two new
+		// domains: fetch (I-cache + predictor) ~45%, dispatch
+		// (rename/ROB/commit) ~55%.
+		fetchModel := feModel
+		fetchModel.Name = NameFetch
+		fetchModel.SwitchedCapF *= 0.45
+		fetchModel.LeakagePerV *= 0.45
+		p.fetchMeter = power.NewMeter(fetchModel)
+		feModel.SwitchedCapF *= 0.55
+		feModel.LeakagePerV *= 0.55
 	}
+	p.feMeter = power.NewMeter(feModel)
+	p.execMeters[isa.DomainInt] = power.NewMeter(cfg.Power[NameInt])
+	p.execMeters[isa.DomainFP] = power.NewMeter(cfg.Power[NameFP])
+	p.execMeters[isa.DomainLS] = power.NewMeter(cfg.Power[NameLS])
 	for d := 0; d < isa.NumExecDomains; d++ {
 		p.samplers[d] = queue.NewSampler(cfg.SampleLimit)
 	}
@@ -219,25 +254,11 @@ func (p *Processor) Run(src trace.Source) (*Result, error) {
 
 	var now clock.Time
 	for {
-		d, t := p.sched.Step()
-		if d == nil {
+		t, ok := p.step()
+		if !ok {
 			return nil, errors.New("mcd: all clocks stopped")
 		}
 		now = t
-		switch d {
-		case p.fe:
-			p.frontEndCycle(now)
-		case p.fetchDom:
-			p.fetchCycle(now)
-		case p.exec[isa.DomainInt]:
-			p.execCycle(now, isa.DomainInt)
-		case p.exec[isa.DomainFP]:
-			p.execCycle(now, isa.DomainFP)
-		case p.exec[isa.DomainLS]:
-			p.execCycle(now, isa.DomainLS)
-		case p.sampling:
-			p.sampleCycle(now)
-		}
 		if p.traceDone && p.rob.empty() && p.feQueue.Empty() {
 			break
 		}
@@ -248,11 +269,48 @@ func (p *Processor) Run(src trace.Source) (*Result, error) {
 	return p.collect(now), nil
 }
 
+// step advances the scheduler by one clock edge and runs that domain's
+// cycle work, returning the edge time. It reports false when every
+// clock has stopped.
+func (p *Processor) step() (clock.Time, bool) {
+	d, now := p.sched.Step()
+	if d == nil {
+		return 0, false
+	}
+	switch d {
+	case p.fe:
+		p.frontEndCycle(now)
+	case p.fetchDom:
+		p.fetchCycle(now)
+	case p.exec[isa.DomainInt]:
+		p.execCycle(now, isa.DomainInt)
+	case p.exec[isa.DomainFP]:
+		p.execCycle(now, isa.DomainFP)
+	case p.exec[isa.DomainLS]:
+		p.execCycle(now, isa.DomainLS)
+	case p.sampling:
+		p.sampleCycle(now)
+	}
+	return now, true
+}
+
+// voltageFor returns Range.VoltageFor(freq) through the single-entry
+// memo of the given slot (an isa.ExecDomain, or isa.NumExecDomains for
+// the front end). The mapping is unchanged; only the repeated
+// clamp+interpolate for an unchanged frequency is skipped.
+func (p *Processor) voltageFor(slot int, freq float64) float64 {
+	if freq != p.voltFreq[slot] {
+		p.voltFreq[slot] = freq
+		p.voltV[slot] = p.cfg.Range.VoltageFor(freq)
+	}
+	return p.voltV[slot]
+}
+
 // feVoltage is the dispatch domain's supply: fixed at V_max unless the
 // domain is DVFS-controlled, in which case it tracks its frequency.
 func (p *Processor) feVoltage(now clock.Time) float64 {
 	if p.cfg.ControlFrontEnd {
-		return p.cfg.Range.VoltageFor(p.fe.FreqMHz(now))
+		return p.voltageFor(int(isa.NumExecDomains), p.fe.FreqMHz(now))
 	}
 	return p.cfg.Range.MaxV
 }
@@ -270,7 +328,7 @@ func (p *Processor) frontEndCycle(now clock.Time) {
 	dispatched := p.dispatch(now)
 
 	act := float64(committed+fetchedN+dispatched) / width
-	m := p.meters[NameFrontEnd]
+	m := p.feMeter
 	v := p.feVoltage(now)
 	m.Cycle(v, act)
 	m.Leak(now, v)
@@ -279,7 +337,7 @@ func (p *Processor) frontEndCycle(now clock.Time) {
 // fetchCycle is the split machine's dedicated fetch-domain cycle.
 func (p *Processor) fetchCycle(now clock.Time) {
 	n := p.fetch(now)
-	m := p.meters[NameFetch]
+	m := p.fetchMeter
 	// The fetch domain always runs at f_max / V_max.
 	m.Cycle(p.cfg.Range.MaxV, float64(n)/float64(p.cfg.FetchWidth))
 	m.Leak(now, p.cfg.Range.MaxV)
@@ -306,15 +364,19 @@ func (p *Processor) commit(now clock.Time) int {
 		if u.domain == isa.DomainLS {
 			p.lsqCount--
 			if u.inst.Class == isa.Store && p.cfg.StoreForwarding {
-				a := u.inst.Addr &^ 7
-				if p.storeAddrs[a]--; p.storeAddrs[a] == 0 {
-					delete(p.storeAddrs, a)
-				}
+				p.storeCounts.decr(u.inst.Addr &^ 7)
 			}
 		}
 		p.retired++
 		p.retiredByCls[u.inst.Class]++
 		p.lastCommit = now
+		if u == p.blockingBranch {
+			// fetch still holds this pointer to observe the branch's
+			// resolution; recycling waits until it lets go.
+			p.deferredBranch = u
+		} else {
+			p.uopFree = append(p.uopFree, u)
+		}
 		n++
 	}
 	return n
@@ -337,6 +399,10 @@ func (p *Processor) fetch(now clock.Time) int {
 		}
 		fePeriod := clock.PeriodForMHz(p.fetchClock().FreqMHz(now))
 		p.fetchBlocked = now + clock.Time(p.cfg.MispredictRedirect)*fePeriod
+		if p.deferredBranch == p.blockingBranch {
+			p.uopFree = append(p.uopFree, p.deferredBranch)
+			p.deferredBranch = nil
+		}
 		p.blockingBranch = nil
 		return 0
 	}
@@ -417,7 +483,8 @@ func (p *Processor) dispatch(now clock.Time) int {
 			break
 		}
 
-		u := &uop{
+		u := p.allocUop()
+		*u = uop{
 			seq:        p.nextSeq,
 			inst:       in,
 			domain:     dom,
@@ -441,7 +508,7 @@ func (p *Processor) dispatch(now clock.Time) int {
 		if dom == isa.DomainLS {
 			p.lsqCount++
 			if in.Class == isa.Store && p.cfg.StoreForwarding {
-				p.storeAddrs[in.Addr&^7]++
+				p.storeCounts.incr(in.Addr &^ 7)
 			}
 		}
 		p.win.insert(u)
@@ -455,6 +522,18 @@ func (p *Processor) dispatch(now clock.Time) int {
 		n++
 	}
 	return n
+}
+
+// allocUop takes a recycled uop from the free list, falling back to the
+// heap only if the list is unexpectedly empty. The caller overwrites
+// every field.
+func (p *Processor) allocUop() *uop {
+	if n := len(p.uopFree); n > 0 {
+		u := p.uopFree[n-1]
+		p.uopFree = p.uopFree[:n-1]
+		return u
+	}
+	return new(uop)
 }
 
 // fetchClock returns the clock that paces instruction fetch.
@@ -495,9 +574,33 @@ func (p *Processor) srcReady(seq uint64, dom isa.ExecDomain, now clock.Time) boo
 	}
 	ready := u.readyAt
 	if u.domain != dom {
-		ready += p.cfg.SyncWindow()
+		ready += p.syncWin
 	}
 	return ready <= now
+}
+
+// srcReadyAt is srcReady plus a lower bound: when the operand is not
+// ready but its producer has issued, the returned time is the earliest
+// moment it can become ready (0 when unknowable, i.e. the producer has
+// not issued yet). The bound is the producer's readyAt, NOT readyAt
+// plus the synchronization window: a cross-domain operand also becomes
+// ready the moment its producer commits (the value then comes from the
+// register file, not the forwarding network), and commit can land
+// anywhere in [readyAt, readyAt+syncWin). readyAt is the latest time
+// provably below both paths.
+func (p *Processor) srcReadyAt(seq uint64, dom isa.ExecDomain, now clock.Time) (bool, clock.Time) {
+	u := p.win.lookup(seq)
+	if u == nil {
+		return true, 0 // committed
+	}
+	if u.state != stateIssued {
+		return false, 0
+	}
+	ready := u.readyAt
+	if u.domain != dom {
+		ready += p.syncWin
+	}
+	return ready <= now, u.readyAt
 }
 
 // execCycle issues ready, visible uops from a domain's queue into its
@@ -505,9 +608,8 @@ func (p *Processor) srcReady(seq uint64, dom isa.ExecDomain, now clock.Time) boo
 func (p *Processor) execCycle(now clock.Time, dom isa.ExecDomain) {
 	d := p.exec[dom]
 	freq := d.FreqMHz(now)
-	v := p.cfg.Range.VoltageFor(freq)
-	meter := p.meters[d.Name()]
-	defer meter.Leak(now, v)
+	v := p.voltageFor(int(dom), freq)
+	meter := p.execMeters[dom]
 
 	units := p.aluPool[dom].size()
 	if dom != isa.DomainLS { // the LS long pool is a structural dummy
@@ -515,6 +617,7 @@ func (p *Processor) execCycle(now clock.Time, dom isa.ExecDomain) {
 	}
 	if d.Idle(now) { // Transmeta-style transition: domain stalls
 		meter.Cycle(v, 0)
+		meter.Leak(now, v)
 		return
 	}
 	if p.cfg.DeepSleep && p.queues[dom].Empty() && p.inflight[dom] == 0 {
@@ -525,38 +628,59 @@ func (p *Processor) execCycle(now clock.Time, dom isa.ExecDomain) {
 			factor = 0.02
 		}
 		meter.CycleDeepGated(v, factor)
+		meter.Leak(now, v)
 		return
 	}
 
-	period := clock.PeriodForMHz(freq)
+	period := d.PeriodForFreq(freq)
 	width := p.cfg.IssueWidth
 	if width > units {
 		width = units
 	}
 	issued := 0
-	var remove []int
+	remove := p.issueScratch[:0]
 	q := p.queues[dom]
-	q.Scan(now, func(i int, u *uop) bool {
-		if issued >= width {
-			return false
+	for i, qn := 0, q.Len(); i < qn && issued < width; i++ {
+		u, visible := q.EntryAt(i, now)
+		if !visible || u.state != stateDispatched {
+			continue
 		}
-		if u.state != stateDispatched {
-			return true
+		// Readiness is monotonic within the consuming domain (readyAt
+		// is fixed once the producer issues, and now only advances), so
+		// an operand observed ready is cleared to the sentinel and
+		// never looked up again, and a known not-before bound skips the
+		// uop without any lookup.
+		if u.stallUntil > now {
+			continue
 		}
-		if !p.srcReady(u.src1, dom, now) || !p.srcReady(u.src2, dom, now) {
-			return true
+		if u.src1 != 0 {
+			ok, at := p.srcReadyAt(u.src1, dom, now)
+			if !ok {
+				u.stallUntil = at
+				continue
+			}
+			u.src1 = 0
+		}
+		if u.src2 != 0 {
+			ok, at := p.srcReadyAt(u.src2, dom, now)
+			if !ok {
+				u.stallUntil = at
+				continue
+			}
+			u.src2 = 0
 		}
 		if !p.tryIssue(u, dom, now, period) {
-			return true // no free unit for this class; try younger ops
+			continue // no free unit for this class; try younger ops
 		}
 		issued++
 		remove = append(remove, i)
-		return true
-	})
+	}
 	for j := len(remove) - 1; j >= 0; j-- {
 		q.RemoveAt(remove[j])
 	}
+	p.issueScratch = remove[:0]
 	meter.Cycle(v, float64(issued)/float64(units))
+	meter.Leak(now, v)
 }
 
 // tryIssue books a functional unit and computes the uop's completion
@@ -567,7 +691,7 @@ func (p *Processor) tryIssue(u *uop, dom isa.ExecDomain, now clock.Time, period 
 	fixed := clock.Time(0)
 
 	if class == isa.Load || class == isa.Store {
-		if class == isa.Load && p.cfg.StoreForwarding && p.storeAddrs[u.inst.Addr&^7] > 0 {
+		if class == isa.Load && p.cfg.StoreForwarding && p.storeCounts.count(u.inst.Addr&^7) > 0 {
 			// Store-to-load forwarding: the value comes straight from
 			// the store queue; no cache access.
 			p.forwarded++
@@ -623,7 +747,7 @@ func (p *Processor) sampleCycle(now clock.Time) {
 					// Regulator switching energy (ignored by the paper
 					// because the capacitors are small; charged here
 					// when the ablation enables it).
-					p.meters[d.Name()].AddJ(cost)
+					p.execMeters[dom].AddJ(cost)
 				}
 			}
 		}
@@ -670,20 +794,23 @@ func (p *Processor) collect(end clock.Time) *Result {
 	}
 	total := 0.0
 	execSec := end.Seconds()
-	for name, m := range p.meters {
-		var d *clock.Domain
-		switch name {
-		case NameFrontEnd:
-			d = p.fe
-		case NameFetch:
-			d = p.fetchDom
-		case NameInt:
-			d = p.exec[isa.DomainInt]
-		case NameFP:
-			d = p.exec[isa.DomainFP]
-		case NameLS:
-			d = p.exec[isa.DomainLS]
-		}
+	type domainMeter struct {
+		name string
+		m    *power.Meter
+		d    *clock.Domain
+	}
+	meters := make([]domainMeter, 0, 5)
+	meters = append(meters, domainMeter{NameFrontEnd, p.feMeter, p.fe})
+	if p.fetchMeter != nil {
+		meters = append(meters, domainMeter{NameFetch, p.fetchMeter, p.fetchDom})
+	}
+	meters = append(meters,
+		domainMeter{NameInt, p.execMeters[isa.DomainInt], p.exec[isa.DomainInt]},
+		domainMeter{NameFP, p.execMeters[isa.DomainFP], p.exec[isa.DomainFP]},
+		domainMeter{NameLS, p.execMeters[isa.DomainLS], p.exec[isa.DomainLS]},
+	)
+	for _, dm := range meters {
+		name, m, d := dm.name, dm.m, dm.d
 		// Final leakage integration at the domain's closing voltage.
 		var v float64
 		switch name {

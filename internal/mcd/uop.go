@@ -28,6 +28,15 @@ type uop struct {
 	// same-domain consumers once state == stateDone.
 	readyAt clock.Time
 
+	// stallUntil is an issue-scan hint: a lower bound on when an
+	// operand of this (still-dispatched) uop can become ready, learned
+	// from a failed readiness check against an already-issued producer.
+	// The scan skips the uop without window lookups until then. Zero
+	// means no bound is known. Purely an optimization: the producer's
+	// readyAt is written once at issue and bounds both the forwarding
+	// and the commit path, so the hint is never late.
+	stallUntil clock.Time
+
 	// Branch bookkeeping.
 	predTaken  bool
 	predTarget uint64

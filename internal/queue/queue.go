@@ -45,14 +45,22 @@ func (p SyncPolicy) String() string {
 // visibility. Entries are kept in insertion (program) order; consumers
 // may remove any visible entry, which is how an out-of-order issue
 // window behaves. The zero Queue is not usable; call New.
+//
+// Storage is a fixed ring sized at construction: logical index i lives
+// at physical slot (head+i)&mask, so front removal — the common case at
+// every dispatch — is O(1) instead of a memmove of the whole buffer,
+// and no path allocates after construction.
 type Queue[T any] struct {
 	name     string
 	capacity int
 	syncWin  clock.Time
 	policy   SyncPolicy
 
-	vals    []T
+	buf     []T
 	visible []clock.Time // per-entry visibility time
+	head    int
+	count   int
+	mask    int
 
 	// Statistics.
 	pushes    uint64
@@ -77,13 +85,18 @@ func NewWithPolicy[T any](name string, capacity int, syncWin clock.Time, policy 
 	if syncWin < 0 {
 		panic(fmt.Sprintf("queue %q: negative sync window", name))
 	}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
 	return &Queue[T]{
 		name:     name,
 		capacity: capacity,
 		syncWin:  syncWin,
 		policy:   policy,
-		vals:     make([]T, 0, capacity),
-		visible:  make([]clock.Time, 0, capacity),
+		buf:      make([]T, size),
+		visible:  make([]clock.Time, size),
+		mask:     size - 1,
 	}
 }
 
@@ -96,13 +109,16 @@ func (q *Queue[T]) Cap() int { return q.capacity }
 // Len returns the current occupancy, including entries not yet visible
 // to the consumer. This is the value the occupancy sampler reads: the
 // physical queue fullness.
-func (q *Queue[T]) Len() int { return len(q.vals) }
+func (q *Queue[T]) Len() int { return q.count }
 
 // Full reports whether a Push would fail.
-func (q *Queue[T]) Full() bool { return len(q.vals) >= q.capacity }
+func (q *Queue[T]) Full() bool { return q.count >= q.capacity }
 
 // Empty reports whether the queue holds no entries at all.
-func (q *Queue[T]) Empty() bool { return len(q.vals) == 0 }
+func (q *Queue[T]) Empty() bool { return q.count == 0 }
+
+// slot maps a logical index to its physical ring slot.
+func (q *Queue[T]) slot(i int) int { return (q.head + i) & q.mask }
 
 // Push inserts v at time now. It reports false (and counts a full-queue
 // stall) when the queue is full. Under the arbitration interface every
@@ -114,14 +130,16 @@ func (q *Queue[T]) Push(now clock.Time, v T) bool {
 		return false
 	}
 	vis := now
-	if q.policy == SyncArbitration || len(q.vals) == 0 {
+	if q.policy == SyncArbitration || q.count == 0 {
 		vis += q.syncWin
 		if q.syncWin > 0 {
 			q.syncPaid++
 		}
 	}
-	q.vals = append(q.vals, v)
-	q.visible = append(q.visible, vis)
+	i := q.slot(q.count)
+	q.buf[i] = v
+	q.visible[i] = vis
+	q.count++
 	q.pushes++
 	return true
 }
@@ -133,8 +151,8 @@ func (q *Queue[T]) SyncPenaltiesPaid() uint64 { return q.syncPaid }
 // VisibleLen returns how many entries the consumer can see at time now.
 func (q *Queue[T]) VisibleLen(now clock.Time) int {
 	n := 0
-	for _, vt := range q.visible {
-		if vt <= now {
+	for i := 0; i < q.count; i++ {
+		if q.visible[q.slot(i)] <= now {
 			n++
 		}
 	}
@@ -144,25 +162,58 @@ func (q *Queue[T]) VisibleLen(now clock.Time) int {
 // Scan calls fn for each visible entry in insertion order until fn
 // returns false. The index passed to fn is stable for the duration of
 // the scan and can be passed to RemoveAt afterwards (remove in
-// descending index order, or use CollectRemove).
+// descending index order).
 func (q *Queue[T]) Scan(now clock.Time, fn func(i int, v T) bool) {
-	for i := range q.vals {
-		if q.visible[i] > now {
+	for i := 0; i < q.count; i++ {
+		s := q.slot(i)
+		if q.visible[s] > now {
 			continue
 		}
-		if !fn(i, q.vals[i]) {
+		if !fn(i, q.buf[s]) {
 			return
 		}
 	}
 }
 
 // At returns the entry at index i.
-func (q *Queue[T]) At(i int) T { return q.vals[i] }
+func (q *Queue[T]) At(i int) T { return q.buf[q.slot(i)] }
 
-// RemoveAt deletes the entry at index i, preserving order.
+// EntryAt returns the entry at index i and whether it is visible to the
+// consumer at time now. It is the allocation-free building block for
+// hot-path scans that would otherwise need a closure with Scan.
+func (q *Queue[T]) EntryAt(i int, now clock.Time) (T, bool) {
+	s := q.slot(i)
+	if q.visible[s] > now {
+		var zero T
+		return zero, false
+	}
+	return q.buf[s], true
+}
+
+// RemoveAt deletes the entry at index i, preserving order. It shifts
+// whichever side of the ring is shorter; removing the front entry (the
+// dispatch hot path) moves nothing.
 func (q *Queue[T]) RemoveAt(i int) {
-	q.vals = append(q.vals[:i], q.vals[i+1:]...)
-	q.visible = append(q.visible[:i], q.visible[i+1:]...)
+	var zero T
+	if i <= q.count-1-i {
+		// Shift the prefix [0,i) up one slot, then advance head.
+		for j := i; j >= 1; j-- {
+			d, s := q.slot(j), q.slot(j-1)
+			q.buf[d] = q.buf[s]
+			q.visible[d] = q.visible[s]
+		}
+		q.buf[q.head] = zero
+		q.head = (q.head + 1) & q.mask
+	} else {
+		// Shift the suffix (i,count) down one slot.
+		for j := i; j < q.count-1; j++ {
+			d, s := q.slot(j), q.slot(j+1)
+			q.buf[d] = q.buf[s]
+			q.visible[d] = q.visible[s]
+		}
+		q.buf[q.slot(q.count-1)] = zero
+	}
+	q.count--
 	q.pops++
 }
 
@@ -173,17 +224,23 @@ func (q *Queue[T]) RemoveAt(i int) {
 func (q *Queue[T]) RemoveIf(pred func(v T) bool) int {
 	out := 0
 	w := 0
-	for i := range q.vals {
-		if pred(q.vals[i]) {
+	for i := 0; i < q.count; i++ {
+		s := q.slot(i)
+		if pred(q.buf[s]) {
 			out++
 			continue
 		}
-		q.vals[w] = q.vals[i]
-		q.visible[w] = q.visible[i]
+		if d := q.slot(w); d != s {
+			q.buf[d] = q.buf[s]
+			q.visible[d] = q.visible[s]
+		}
 		w++
 	}
-	q.vals = q.vals[:w]
-	q.visible = q.visible[:w]
+	var zero T
+	for i := w; i < q.count; i++ {
+		q.buf[q.slot(i)] = zero
+	}
+	q.count = w
 	q.pops += uint64(out)
 	return out
 }
@@ -191,18 +248,18 @@ func (q *Queue[T]) RemoveIf(pred func(v T) bool) int {
 // PeekFront returns the oldest entry without removing it, if it is
 // visible at time now.
 func (q *Queue[T]) PeekFront(now clock.Time) (v T, ok bool) {
-	if len(q.vals) == 0 || q.visible[0] > now {
+	if q.count == 0 || q.visible[q.head] > now {
 		return v, false
 	}
-	return q.vals[0], true
+	return q.buf[q.head], true
 }
 
 // PopFront removes and returns the oldest visible entry, if any.
 func (q *Queue[T]) PopFront(now clock.Time) (v T, ok bool) {
-	if len(q.vals) == 0 || q.visible[0] > now {
+	if q.count == 0 || q.visible[q.head] > now {
 		return v, false
 	}
-	v = q.vals[0]
+	v = q.buf[q.head]
 	q.RemoveAt(0)
 	return v, true
 }

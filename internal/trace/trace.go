@@ -21,7 +21,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"mcddvfs/internal/isa"
 )
@@ -156,6 +155,8 @@ type Generator struct {
 
 	// Cached per-phase derived state.
 	cum       [isa.NumClasses]float64
+	logQ      float64 // math.Log(1 - 1/DepMean), valid when depGeo
+	depGeo    bool    // DepMean > 1: geometric draw needed in drawDep
 	dataBase  uint64
 	codeBase  uint64
 	seqCursor uint64
@@ -243,6 +244,16 @@ func (g *Generator) enterPhase(idx int) {
 		panic(err) // validated in NewGenerator
 	}
 	g.cum = cum
+	// The geometric dependence draw divides by math.Log(1-p) with
+	// p = 1/DepMean — a per-phase constant, cached here so drawDep pays
+	// one Log per draw instead of two. The division form is kept in
+	// drawDep so drawn values stay bit-identical.
+	g.depGeo = ph.DepMean > 1
+	if g.depGeo {
+		g.logQ = math.Log(1 - 1/ph.DepMean)
+	} else {
+		g.logQ = 0
+	}
 	// Benchmarks reuse one data region across phases (working sets
 	// overlap, as in real programs); code regions differ per phase so
 	// that phase changes disturb the I-cache.
@@ -325,11 +336,14 @@ func (g *Generator) classAtPC(pc uint64) isa.Class {
 	h := (pc ^ 0xA5A5_5A5A_1234_9876) * 0x9E3779B97F4A7C15
 	h ^= h >> 29
 	u := float64(h>>11) / float64(uint64(1)<<53)
-	i := sort.Search(isa.NumClasses, func(i int) bool { return g.cum[i] >= u })
-	if i >= isa.NumClasses {
-		i = isa.NumClasses - 1
+	// Linear scan: NumClasses is small, and this runs once per emitted
+	// instruction — the sort.Search closure overhead is measurable here.
+	for i := 0; i < isa.NumClasses-1; i++ {
+		if g.cum[i] >= u {
+			return isa.Class(i)
+		}
 	}
-	return isa.Class(i)
+	return isa.Class(isa.NumClasses - 1)
 }
 
 // drawDep samples a producer distance: geometric with the phase mean,
@@ -338,12 +352,12 @@ func (g *Generator) classAtPC(pc uint64) isa.Class {
 // the past that are architecturally ready.
 func (g *Generator) drawDep(ph *Phase) uint32 {
 	// Geometric with success probability p = 1/mean, support {1,2,...}.
-	p := 1 / ph.DepMean
+	// math.Log(1-p) is the per-phase constant cached as logQ.
 	// Inverse-transform sampling keeps it to one uniform draw.
 	u := g.rng.Float64()
 	d := int64(1)
-	if p < 1 {
-		d = int64(math.Log(1-u)/math.Log(1-p)) + 1
+	if g.depGeo {
+		d = int64(math.Log(1-u)/g.logQ) + 1
 	}
 	if d > 512 {
 		return 0 // long-dead producer: operand ready
