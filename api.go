@@ -26,10 +26,14 @@
 package mcddvfs
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"time"
 
 	"mcddvfs/internal/control"
 	"mcddvfs/internal/experiment"
+	"mcddvfs/internal/faults"
 	"mcddvfs/internal/isa"
 	"mcddvfs/internal/mcd"
 	"mcddvfs/internal/power"
@@ -81,7 +85,40 @@ type (
 	Class = isa.Class
 	// ExecDomain identifies a DVFS-controlled clock domain.
 	ExecDomain = isa.ExecDomain
+	// FaultConfig configures the deterministic fault-injection layer on
+	// the DVFS control loop; the zero value disables injection and
+	// leaves outputs bit-identical.
+	FaultConfig = faults.Config
+	// SensorFaults corrupts the occupancy readings controllers observe.
+	SensorFaults = faults.SensorConfig
+	// ActuatorFaults corrupts the path from controller decisions to the
+	// clock domains.
+	ActuatorFaults = faults.ActuatorConfig
+	// CellError is one failed cell of a benchmark × scheme matrix.
+	CellError = experiment.CellError
 )
+
+// The harness error taxonomy: every failure a run can produce wraps
+// exactly one of these sentinels (match with errors.Is).
+var (
+	// ErrInvalidSpec marks requests that could never run (unknown
+	// benchmark, malformed profile or machine configuration).
+	ErrInvalidSpec = experiment.ErrInvalidSpec
+	// ErrRunTimeout marks runs that exceeded their deadline.
+	ErrRunTimeout = experiment.ErrRunTimeout
+	// ErrCancelled marks runs aborted by context cancellation.
+	ErrCancelled = experiment.ErrCancelled
+	// ErrRunPanicked marks runs whose simulation panicked; the panic is
+	// recovered into this error instead of crashing the process.
+	ErrRunPanicked = experiment.ErrRunPanicked
+)
+
+// FaultIntensity returns the canonical fault profile scaled by level
+// in [0, 1] — the knob the robustness sweep turns. See
+// faults.Intensity for the profile.
+func FaultIntensity(level float64, seed int64) FaultConfig {
+	return faults.Intensity(level, seed)
+}
 
 // Instruction classes for building custom workload mixes.
 const (
@@ -148,36 +185,58 @@ type RunSpec struct {
 	// controllers, it is replayed against scratch per-domain defaults
 	// to canonicalize its effect for the in-process result cache.
 	TuneAdaptive func(*ControllerConfig)
+	// Faults injects deterministic sensor/actuator faults into the
+	// DVFS control loop; the zero value changes nothing.
+	Faults FaultConfig
+	// Timeout bounds the run; on expiry the run fails with
+	// ErrRunTimeout (0 = unbounded).
+	Timeout time.Duration
 }
 
-// Run simulates one benchmark under one control scheme and returns the
-// result.
-func Run(spec RunSpec) (*Result, error) {
-	if spec.Scheme == "" {
-		spec.Scheme = SchemeAdaptive
-	}
-	opt := experiment.Options{
+// options converts the spec to harness options.
+func (spec RunSpec) options() experiment.Options {
+	return experiment.Options{
 		Instructions:   spec.Instructions,
 		Seed:           spec.Seed,
 		Machine:        spec.Machine,
 		MutateAdaptive: spec.TuneAdaptive,
+		Faults:         spec.Faults,
+		Timeout:        spec.Timeout,
 	}
-	return experiment.RunOne(spec.Benchmark, spec.Scheme, opt)
+}
+
+// Run simulates one benchmark under one control scheme and returns the
+// result. Invalid specs (unknown benchmark or scheme, malformed
+// machine configuration) fail with an error wrapping ErrInvalidSpec
+// rather than panicking.
+func Run(spec RunSpec) (*Result, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext is Run with cancellation: the simulation aborts with an
+// error wrapping ErrCancelled (or ErrRunTimeout for spec.Timeout)
+// shortly after ctx ends.
+func RunContext(ctx context.Context, spec RunSpec) (*Result, error) {
+	if spec.Scheme == "" {
+		spec.Scheme = SchemeAdaptive
+	}
+	return experiment.RunOneContext(ctx, spec.Benchmark, spec.Scheme, spec.options())
 }
 
 // RunProfile simulates a user-defined workload profile (rather than a
 // bundled benchmark) under the given spec. spec.Benchmark is ignored.
+// Like Run, it reports invalid input as ErrInvalidSpec instead of
+// panicking.
 func RunProfile(prof Profile, spec RunSpec) (*Result, error) {
+	return RunProfileContext(context.Background(), prof, spec)
+}
+
+// RunProfileContext is RunProfile with cancellation.
+func RunProfileContext(ctx context.Context, prof Profile, spec RunSpec) (*Result, error) {
 	if spec.Scheme == "" {
 		spec.Scheme = SchemeAdaptive
 	}
-	opt := experiment.Options{
-		Instructions:   spec.Instructions,
-		Seed:           spec.Seed,
-		Machine:        spec.Machine,
-		MutateAdaptive: spec.TuneAdaptive,
-	}
-	return experiment.RunProfile(prof, spec.Scheme, opt)
+	return experiment.RunProfileContext(ctx, prof, spec.Scheme, spec.options())
 }
 
 // CompareRuns computes the paper's three headline metrics (energy
@@ -203,8 +262,23 @@ func ClassifyWorkload(occupancy []float64) (fastShare float64, fast bool, err er
 func DefaultStabilitySystem() StabilitySystem { return stability.Default() }
 
 // NewMatrix simulates every benchmark under every scheme (the grid
-// behind Figures 9–11). Expensive: ~70 full simulations.
+// behind Figures 9–11). Expensive: ~70 full simulations. A failing
+// cell no longer aborts the sweep: it lands in Matrix.Failures as a
+// structured error while the rest of the matrix completes.
 func NewMatrix(opt Options) (*Matrix, error) { return experiment.RunMatrix(opt) }
+
+// NewMatrixContext is NewMatrix with cancellation; on cancellation the
+// partial matrix is returned alongside an ErrCancelled error.
+func NewMatrixContext(ctx context.Context, opt Options) (*Matrix, error) {
+	return experiment.RunMatrixContext(ctx, opt)
+}
+
+// FaultSweep measures how gracefully each control scheme degrades as
+// control-loop faults intensify (see experiment.FaultSweep). Passing
+// nil benchmarks or intensities selects the defaults.
+func FaultSweep(opt Options, benchmarks []string, intensities []float64) (Report, error) {
+	return experiment.FaultSweep(opt, benchmarks, intensities)
+}
 
 // TraceSource is a stream of dynamic instructions: a synthetic
 // Generator or a replayed trace file.
@@ -237,9 +311,12 @@ func RunTrace(src TraceSource, spec RunSpec) (*Result, error) {
 		machine = *spec.Machine
 	}
 	machine.Seed = spec.Seed
+	if spec.Faults.Enabled() {
+		machine.Faults = spec.Faults
+	}
 	p, err := mcd.New(machine)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
 	}
 	opt := experiment.Options{Seed: spec.Seed, MutateAdaptive: spec.TuneAdaptive}
 	if err := experiment.AttachScheme(p, spec.Scheme, opt); err != nil {

@@ -2,6 +2,8 @@ package mcddvfs
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"testing"
 )
@@ -189,5 +191,59 @@ func TestRunProfileValidation(t *testing.T) {
 	var empty Profile
 	if _, err := RunProfile(empty, RunSpec{Instructions: 100}); err == nil {
 		t.Error("empty profile accepted")
+	}
+}
+
+// TestRunRejectsBadSpecs asserts malformed requests surface as errors
+// wrapping ErrInvalidSpec at the public boundary instead of panicking
+// deep inside the simulator (queue/cache geometry checks, the trace
+// generator, scheme dispatch).
+func TestRunRejectsBadSpecs(t *testing.T) {
+	badCache := DefaultMachine()
+	badCache.Cache.L1DLine = 33 // not a power of two
+
+	badQueue := DefaultMachine()
+	badQueue.IntQSize = -4
+
+	cases := []struct {
+		name string
+		spec RunSpec
+	}{
+		{"unknown benchmark", RunSpec{Benchmark: "nonesuch"}},
+		{"unknown scheme", RunSpec{Benchmark: "gzip", Scheme: "warp-speed"}},
+		{"bad cache geometry", RunSpec{Benchmark: "gzip", Machine: &badCache}},
+		{"bad queue geometry", RunSpec{Benchmark: "gzip", Machine: &badQueue}},
+		{"bad fault config", RunSpec{Benchmark: "gzip", Faults: FaultConfig{Sensor: SensorFaults{DropRate: 7}}}},
+	}
+	for _, tc := range cases {
+		tc.spec.Instructions = 20000
+		if _, err := Run(tc.spec); !errors.Is(err, ErrInvalidSpec) {
+			t.Errorf("%s: got %v, want ErrInvalidSpec", tc.name, err)
+		}
+	}
+}
+
+// TestRunContextCancellation asserts the public entry point honors a
+// cancelled context with a structured ErrCancelled.
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, RunSpec{Benchmark: "gzip", Instructions: 20000})
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("got %v, want ErrCancelled", err)
+	}
+}
+
+// TestFaultIntensityExport sanity-checks the re-exported fault knob.
+func TestFaultIntensityExport(t *testing.T) {
+	if cfg := FaultIntensity(0, 1); cfg.Enabled() {
+		t.Error("zero intensity is enabled")
+	}
+	cfg := FaultIntensity(0.5, 1)
+	if !cfg.Enabled() {
+		t.Error("half intensity is disabled")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Error(err)
 	}
 }

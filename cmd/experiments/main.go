@@ -5,18 +5,30 @@
 //	experiments -all                 # everything (the full matrix takes ~1-2 min)
 //	experiments -only table1,fig7   # selected artifacts
 //	experiments -all -out results/  # also write one .txt per artifact
+//	experiments -faults 0,0.5,1     # robustness sweep: EDP vs fault intensity
 //
 // Artifact IDs: table1 table2 fig7 fig8 fig9 fig10 fig11 table3 table4
-// remarks ablation transitions global qref interfaces partitions delays seeds summary.
+// remarks ablation transitions global qref interfaces partitions delays
+// seeds summary robustness. The robustness sweep only runs when asked
+// for explicitly (-faults or -only robustness), never under -all.
+//
+// SIGINT/SIGTERM cancel in-flight simulations; artifacts already
+// produced are flushed before exit, and a partially completed matrix
+// still renders the rows whose cells finished.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"syscall"
 
 	"mcddvfs/internal/experiment"
 	"mcddvfs/internal/profiling"
@@ -32,11 +44,17 @@ func main() {
 		asJSON = flag.Bool("json", false, "with -out, also write per-artifact .json files")
 		asSVG  = flag.Bool("svg", false, "with -out, also render figures 7-11 as .svg files")
 
+		faultsSpec = flag.String("faults", "", `run the robustness artifact at these comma-separated fault intensities in [0,1] (e.g. "0,0.5,1"; "default" = 0,0.25,0.5,0.75,1)`)
+		timeout    = flag.Duration("timeout", 0, "per-simulation deadline (0 = none)")
+
 		useCache   = flag.Bool("cache", true, "memoize simulation results across artifacts (identical output, fewer simulations)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	experiment.SetCaching(*useCache)
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
@@ -59,16 +77,34 @@ func main() {
 		for _, id := range strings.Split(*only, ",") {
 			want[strings.TrimSpace(id)] = true
 		}
+	case *faultsSpec != "":
+		// -faults alone selects just the robustness artifact.
 	default:
-		fmt.Fprintln(os.Stderr, "experiments: pass -all or -only <ids>; see -h")
+		fmt.Fprintln(os.Stderr, "experiments: pass -all, -only <ids>, or -faults <levels>; see -h")
 		os.Exit(2)
 	}
 	sel := func(id string) bool { return *all || want[id] }
 
-	opt := experiment.Options{Instructions: *insts, Seed: *seed}
+	var intensities []float64
+	if *faultsSpec != "" && *faultsSpec != "default" {
+		for _, f := range strings.Split(*faultsSpec, ",") {
+			lv, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -faults: bad intensity %q: %v\n", f, err)
+				os.Exit(2)
+			}
+			intensities = append(intensities, lv)
+		}
+	}
+
+	opt := experiment.Options{Instructions: *insts, Seed: *seed, Timeout: *timeout, Context: ctx}
 	emit := func(rep experiment.Report, err error) {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", rep.ID, err)
+			if errors.Is(err, experiment.ErrCancelled) {
+				fmt.Fprintln(os.Stderr, "experiments: interrupted; artifacts printed so far were flushed")
+				os.Exit(130)
+			}
 			os.Exit(1)
 		}
 		rep.WriteTo(os.Stdout) //nolint:errcheck // stdout
@@ -147,10 +183,17 @@ func main() {
 	}
 
 	if sel("fig9") || sel("fig10") || sel("fig11") || sel("summary") {
-		m, err := experiment.RunMatrix(opt)
-		if err != nil {
+		m, err := experiment.RunMatrixContext(ctx, opt)
+		if err != nil && (m == nil || !errors.Is(err, experiment.ErrCancelled)) {
 			fmt.Fprintln(os.Stderr, "experiments: matrix:", err)
 			os.Exit(1)
+		}
+		interrupted := err != nil
+		if interrupted {
+			fmt.Fprintln(os.Stderr, "experiments: matrix interrupted; rendering completed cells only")
+		}
+		for _, f := range m.Failures {
+			fmt.Fprintln(os.Stderr, "experiments: matrix cell failed:", f.Error())
 		}
 		if sel("fig9") {
 			emit(m.Figure9(), nil)
@@ -180,6 +223,10 @@ func main() {
 		}
 		if sel("summary") {
 			emit(experiment.Summary(m, classes), nil)
+		}
+		if interrupted {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted; partial artifacts above were flushed")
+			os.Exit(130)
 		}
 	}
 	if sel("table3") {
@@ -217,6 +264,11 @@ func main() {
 	}
 	if sel("seeds") {
 		rep, err := experiment.SeedStudy(opt, []string{"adpcm_encode", "gzip", "swim"}, 5)
+		emit(rep, err)
+	}
+	if *faultsSpec != "" || want["robustness"] {
+		rep, err := experiment.FaultSweepContext(ctx, opt,
+			[]string{"adpcm_encode", "gsm_decode", "gzip", "swim"}, intensities)
 		emit(rep, err)
 	}
 

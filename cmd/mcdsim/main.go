@@ -9,14 +9,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"mcddvfs/internal/dvfs"
 	"mcddvfs/internal/experiment"
+	"mcddvfs/internal/faults"
 	"mcddvfs/internal/mcd"
 	"mcddvfs/internal/profiling"
 	"mcddvfs/internal/queue"
@@ -33,6 +38,9 @@ func main() {
 		list    = flag.Bool("list", false, "list available benchmarks and exit")
 		compare = flag.Bool("compare", false, "also run the no-DVFS baseline and print savings")
 
+		faultLvl = flag.Float64("faults", 0, "control-loop fault intensity in [0,1] (0 = no injection)")
+		timeout  = flag.Duration("timeout", 0, "simulation deadline (0 = none)")
+
 		split     = flag.Bool("split", false, "use the 5-domain (split front end) partition")
 		prefetch  = flag.Bool("prefetch", false, "enable the next-line L1D prefetcher")
 		noForward = flag.Bool("noforward", false, "disable store-to-load forwarding")
@@ -43,6 +51,9 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -76,26 +87,41 @@ func main() {
 	if *transmeta {
 		machine.Transitions = dvfs.TransmetaTransitions()
 	}
-	opt := experiment.Options{Instructions: *insts, Seed: *seed, Machine: &machine}
-	res, err := experiment.RunOne(*bench, experiment.Scheme(*scheme), opt)
+	machine.Faults = faults.Intensity(*faultLvl, *seed)
+	opt := experiment.Options{Instructions: *insts, Seed: *seed, Machine: &machine, Timeout: *timeout}
+	res, err := experiment.RunOneContext(ctx, *bench, experiment.Scheme(*scheme), opt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mcdsim:", err)
-		os.Exit(1)
+		exitErr(err)
 	}
 	printRun(res, *verbose)
 
 	if *compare && experiment.Scheme(*scheme) != experiment.SchemeNone {
-		base, err := experiment.RunOne(*bench, experiment.SchemeNone, opt)
+		// The baseline has no control loop to corrupt.
+		base := machine
+		base.Faults = faults.Config{}
+		bopt := opt
+		bopt.Machine = &base
+		baseRes, err := experiment.RunOneContext(ctx, *bench, experiment.SchemeNone, bopt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mcdsim:", err)
-			os.Exit(1)
+			exitErr(err)
 		}
-		c := experimentCompare(base, res)
+		c := experimentCompare(baseRes, res)
 		fmt.Printf("\nvs no-DVFS baseline:\n")
 		fmt.Printf("  energy saving        %7.2f%%\n", 100*c.save)
 		fmt.Printf("  perf degradation     %7.2f%%\n", 100*c.perf)
 		fmt.Printf("  EDP improvement      %7.2f%%\n", 100*c.edp)
 	}
+}
+
+func exitErr(err error) {
+	fmt.Fprintln(os.Stderr, "mcdsim:", err)
+	switch {
+	case errors.Is(err, experiment.ErrCancelled):
+		os.Exit(130)
+	case errors.Is(err, experiment.ErrRunTimeout):
+		os.Exit(124)
+	}
+	os.Exit(1)
 }
 
 type cmp struct{ save, perf, edp float64 }

@@ -208,6 +208,39 @@ type Config struct {
 	MemFirstChunkNS float64
 }
 
+// Validate checks every cache geometry against the constraints New
+// enforces with panics, so misconfigured hierarchies surface as errors
+// at the API boundary instead of panics mid-construction.
+func (c Config) Validate() error {
+	check := func(name string, size, ways, lineSize int) error {
+		if ways <= 0 || lineSize <= 0 || size <= 0 {
+			return fmt.Errorf("cache %s: non-positive geometry (size %d, ways %d, line %d)", name, size, ways, lineSize)
+		}
+		if lineSize&(lineSize-1) != 0 {
+			return fmt.Errorf("cache %s: line size %d not a power of two", name, lineSize)
+		}
+		sets := size / (ways * lineSize)
+		if sets <= 0 || sets&(sets-1) != 0 {
+			return fmt.Errorf("cache %s: %d sets (from size %d, ways %d, line %d) not a power of two",
+				name, sets, size, ways, lineSize)
+		}
+		return nil
+	}
+	if err := check("L1I", c.L1ISize, c.L1IWays, c.L1ILine); err != nil {
+		return err
+	}
+	if err := check("L1D", c.L1DSize, c.L1DWays, c.L1DLine); err != nil {
+		return err
+	}
+	if err := check("L2", c.L2Size, c.L2Ways, c.L2Line); err != nil {
+		return err
+	}
+	if c.L1Latency < 0 || c.L2Latency < 0 || c.MemFirstChunkNS < 0 {
+		return fmt.Errorf("cache: negative latency")
+	}
+	return nil
+}
+
 // Default returns the Table-1 hierarchy configuration.
 func Default() Config {
 	return Config{

@@ -1,0 +1,82 @@
+package control
+
+import (
+	"testing"
+
+	"mcddvfs/internal/clock"
+	"mcddvfs/internal/isa"
+)
+
+// FuzzAdaptiveObserve drives the dual-FSM controller with arbitrary
+// occupancy sequences (the exact byte stream a corrupted sensor could
+// deliver) under every combination of feature switches and asserts the
+// paper's safety invariants:
+//
+//   - a commanded frequency always lands inside cfg.Range;
+//   - the resettable delay counters never go negative;
+//   - the Act state always exits: a triggered hold is bounded by the
+//     largest possible step count times the switch time, so the
+//     controller cannot park itself forever.
+func FuzzAdaptiveObserve(f *testing.F) {
+	f.Add(uint8(0), []byte{7, 7, 7, 7})
+	f.Add(uint8(15), []byte{0, 40, 0, 40, 0, 40, 0, 40, 0, 40})
+	f.Add(uint8(5), []byte{255, 0, 255, 0, 12, 3, 9, 200, 1, 1, 1, 1, 1, 1})
+	f.Add(uint8(8), []byte{20, 20, 20, 20, 20, 20, 20, 20, 20, 20, 20, 20})
+
+	f.Fuzz(func(t *testing.T, flags uint8, occs []byte) {
+		for _, dom := range []isa.ExecDomain{isa.DomainInt, isa.DomainFP} {
+			cfg := DefaultConfig(dom)
+			cfg.SignalScaledDelay = flags&1 != 0
+			cfg.ScaleDownCaution = flags&2 != 0
+			cfg.CombineDouble = flags&4 != 0
+			cfg.ProportionalStep = flags&8 != 0
+			a := NewAdaptive(cfg)
+
+			maxSteps := 2 // a combined double step
+			if cfg.ProportionalStep && cfg.MaxPropSteps > 1 {
+				maxSteps = 2 * cfg.MaxPropSteps
+			}
+			maxHold := clock.Time(int64(maxSteps)) * cfg.SwitchTime
+
+			const period = 4 * clock.Nanosecond // 250 MHz sampling
+			cur := cfg.Range.MaxMHz
+			var now clock.Time
+			for i, b := range occs {
+				target, change := a.Observe(now, int(b), cur)
+				if a.level.counter < 0 || a.slope.counter < 0 {
+					t.Fatalf("tick %d: negative delay counter (level %g, slope %g)",
+						i, a.level.counter, a.slope.counter)
+				}
+				if change {
+					if target < cfg.Range.MinMHz || target > cfg.Range.MaxMHz {
+						t.Fatalf("tick %d: target %g MHz outside [%g, %g]",
+							i, target, cfg.Range.MinMHz, cfg.Range.MaxMHz)
+					}
+					if a.holdUntil > now+maxHold {
+						t.Fatalf("tick %d: Act hold of %v exceeds the %v bound for ≤%d steps",
+							i, a.holdUntil-now, maxHold, maxSteps)
+					}
+					cur = target
+				}
+				now += period
+			}
+
+			// The Act state must be exited by waiting, not only by luck.
+			// After the longest possible hold, settle both signals: the
+			// first q_ref sample may still see a large slope (q_ref −
+			// prevOcc), but the second has level 0 and slope 0, so it
+			// must reach the FSMs, trigger nothing, and leave the
+			// counters reset.
+			now += maxHold
+			a.Observe(now, cfg.QRef, cur)
+			now += period + maxHold
+			if _, change := a.Observe(now, cfg.QRef, cur); change {
+				t.Fatal("zero-signal sample after the hold still triggered a change")
+			}
+			if a.level.counter != 0 || a.slope.counter != 0 {
+				t.Fatalf("in-window sample did not reset the counters (level %g, slope %g)",
+					a.level.counter, a.slope.counter)
+			}
+		}
+	})
+}

@@ -141,5 +141,16 @@ func cachedRun(prof trace.Profile, scheme Scheme, opt Options, run func() (*mcd.
 		defer close(e.done)
 		e.res, e.err = run()
 	}()
+	if e.err != nil && transientErr(e.err) {
+		// A timeout or cancellation says nothing about the simulation
+		// itself — evict so a later call with a fresh context re-runs
+		// instead of replaying the stale failure. Waiters already
+		// parked on e.done still see this attempt's error.
+		resultCache.mu.Lock()
+		if resultCache.entries[k] == e {
+			delete(resultCache.entries, k)
+		}
+		resultCache.mu.Unlock()
+	}
 	return e.res, e.err
 }

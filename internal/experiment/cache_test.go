@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"strings"
@@ -169,30 +170,43 @@ func TestCacheSingleFlight(t *testing.T) {
 	}
 }
 
-// TestForEachParallelErrorIndex asserts the pool reports the
-// lowest-index failure, wrapped with that index, and stops launching
-// new tasks after a failure.
+// TestForEachParallelErrorIndex asserts the pool collects every
+// failure sorted by index, runs the healthy tasks to completion
+// anyway, and that firstError names the lowest failing index.
 func TestForEachParallelErrorIndex(t *testing.T) {
 	sentinel := errors.New("boom")
 	var ran atomic.Int64
-	err := forEachParallel(1000, func(i int) error {
+	errs := forEachParallel(context.Background(), 1000, func(i int) error {
 		ran.Add(1)
 		if i == 3 || i == 700 {
 			return sentinel
 		}
 		return nil
 	})
+	if len(errs) != 2 {
+		t.Fatalf("got %d failures, want 2: %v", len(errs), errs)
+	}
+	if errs[0].index != 3 || errs[1].index != 700 {
+		t.Errorf("failure indices = %d, %d; want 3, 700", errs[0].index, errs[1].index)
+	}
+	for _, te := range errs {
+		if !errors.Is(te.err, sentinel) {
+			t.Errorf("task %d error does not wrap the task error: %v", te.index, te.err)
+		}
+	}
+	if n := ran.Load(); n != 1000 {
+		t.Errorf("pool ran %d tasks, want all 1000 despite failures", n)
+	}
+
+	err := firstError(errs)
 	if err == nil {
-		t.Fatal("no error reported")
+		t.Fatal("firstError reported nil for a failed pool")
 	}
 	if !errors.Is(err, sentinel) {
-		t.Errorf("error does not wrap the task error: %v", err)
+		t.Errorf("firstError does not wrap the task error: %v", err)
 	}
 	if !strings.HasPrefix(err.Error(), "task 3:") {
-		t.Errorf("error %q does not name the lowest failing task", err)
-	}
-	if n := ran.Load(); n >= 1000 {
-		t.Errorf("pool ran all %d tasks after a failure", n)
+		t.Errorf("firstError %q does not name the lowest failing task", err)
 	}
 }
 
@@ -201,15 +215,68 @@ func TestForEachParallelErrorIndex(t *testing.T) {
 func TestForEachParallelCompletes(t *testing.T) {
 	const n = 257
 	var seen [n]atomic.Int32
-	if err := forEachParallel(n, func(i int) error {
+	if errs := forEachParallel(context.Background(), n, func(i int) error {
 		seen[i].Add(1)
 		return nil
-	}); err != nil {
-		t.Fatal(err)
+	}); len(errs) != 0 {
+		t.Fatal(errs[0].err)
 	}
 	for i := range seen {
 		if got := seen[i].Load(); got != 1 {
 			t.Errorf("task %d ran %d times", i, got)
 		}
+	}
+}
+
+// TestForEachParallelRecoversPanic asserts a panicking task is
+// converted into an ErrRunPanicked failure for its own index while
+// every other task still runs.
+func TestForEachParallelRecoversPanic(t *testing.T) {
+	var ran atomic.Int64
+	errs := forEachParallel(context.Background(), 64, func(i int) error {
+		ran.Add(1)
+		if i == 17 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if n := ran.Load(); n != 64 {
+		t.Errorf("pool ran %d tasks, want all 64 despite the panic", n)
+	}
+	if len(errs) != 1 {
+		t.Fatalf("got %d failures, want 1: %v", len(errs), errs)
+	}
+	if errs[0].index != 17 {
+		t.Errorf("failure index = %d, want 17", errs[0].index)
+	}
+	if !errors.Is(errs[0].err, ErrRunPanicked) {
+		t.Errorf("panic not wrapped in ErrRunPanicked: %v", errs[0].err)
+	}
+	if !strings.Contains(errs[0].err.Error(), "kaboom") {
+		t.Errorf("panic value lost from error: %v", errs[0].err)
+	}
+}
+
+// TestForEachParallelCancellation asserts a cancelled context stops
+// the pool from starting new tasks and marks the unstarted ones with
+// ErrCancelled.
+func TestForEachParallelCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	errs := forEachParallel(ctx, 100, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if len(errs) != 100 {
+		t.Fatalf("got %d failures, want every task cancelled", len(errs))
+	}
+	for _, te := range errs {
+		if !errors.Is(te.err, ErrCancelled) {
+			t.Fatalf("task %d error is not ErrCancelled: %v", te.index, te.err)
+		}
+	}
+	if n := ran.Load(); n != 0 {
+		t.Errorf("%d tasks ran under a pre-cancelled context", n)
 	}
 }

@@ -5,13 +5,16 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"mcddvfs/internal/baselines"
 	"mcddvfs/internal/control"
+	"mcddvfs/internal/faults"
 	"mcddvfs/internal/isa"
 	"mcddvfs/internal/mcd"
 	"mcddvfs/internal/power"
@@ -60,6 +63,26 @@ type Options struct {
 	MutateAdaptive func(*control.Config)
 	// Machine, when non-nil, replaces the Table-1 machine config.
 	Machine *mcd.Config
+	// Faults, when enabled, injects deterministic sensor/actuator
+	// faults into the control loop (overriding Machine.Faults). The
+	// zero value leaves every run bit-identical to a fault-free one.
+	Faults faults.Config
+	// Timeout bounds each individual simulation; a run that exceeds it
+	// fails with ErrRunTimeout (0 = unbounded).
+	Timeout time.Duration
+	// Context, when non-nil, cancels in-flight and pending runs for
+	// every harness entry point that does not take an explicit context
+	// (the report and sweep generators). Explicit ...Context variants
+	// take precedence.
+	Context context.Context
+}
+
+// ctx returns the options' cancellation context.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // DefaultOptions returns the harness defaults.
@@ -78,25 +101,35 @@ func (o Options) withDefaults() Options {
 }
 
 func (o Options) machine() mcd.Config {
+	var cfg mcd.Config
 	if o.Machine != nil {
-		return *o.Machine
+		cfg = *o.Machine
+	} else {
+		cfg = mcd.DefaultConfig()
+		cfg.Seed = o.Seed
+		// Bound retained occupancy samples: classification and Figure 8
+		// need at most ~130K samples (524 µs at 250 MHz); controllers
+		// run off live values regardless.
+		cfg.SampleLimit = 1 << 17
 	}
-	cfg := mcd.DefaultConfig()
-	cfg.Seed = o.Seed
-	// Bound retained occupancy samples: classification and Figure 8
-	// need at most ~130K samples (524 µs at 250 MHz); controllers run
-	// off live values regardless.
-	cfg.SampleLimit = 1 << 17
+	if o.Faults.Enabled() {
+		cfg.Faults = o.Faults
+	}
 	return cfg
 }
 
 // RunOne simulates a single bundled benchmark under one scheme.
 func RunOne(bench string, scheme Scheme, opt Options) (*mcd.Result, error) {
+	return RunOneContext(opt.ctx(), bench, scheme, opt)
+}
+
+// RunOneContext is RunOne with explicit cancellation.
+func RunOneContext(ctx context.Context, bench string, scheme Scheme, opt Options) (*mcd.Result, error) {
 	prof, err := trace.ByName(bench)
 	if err != nil {
-		return nil, err
+		return nil, invalidSpec(err)
 	}
-	return RunProfile(prof, scheme, opt)
+	return RunProfileContext(ctx, prof, scheme, opt)
 }
 
 // RunProfile simulates an arbitrary workload profile under one scheme.
@@ -104,30 +137,74 @@ func RunOne(bench string, scheme Scheme, opt Options) (*mcd.Result, error) {
 // inputs that hash to the same simulation share one run and one
 // *mcd.Result, so callers must not mutate what they get back.
 func RunProfile(prof trace.Profile, scheme Scheme, opt Options) (*mcd.Result, error) {
+	return RunProfileContext(opt.ctx(), prof, scheme, opt)
+}
+
+// RunProfileContext is RunProfile with explicit cancellation. Every
+// failure wraps one of the taxonomy sentinels: a request that could
+// never run returns ErrInvalidSpec; a run that exceeds opt.Timeout
+// returns ErrRunTimeout; cancellation returns ErrCancelled; a panic in
+// the simulator is recovered into ErrRunPanicked.
+func RunProfileContext(ctx context.Context, prof trace.Profile, scheme Scheme, opt Options) (*mcd.Result, error) {
 	opt = opt.withDefaults()
+	if err := validateRun(prof, scheme, opt); err != nil {
+		return nil, err
+	}
 	return cachedRun(prof, scheme, opt, func() (*mcd.Result, error) {
-		return runProfile(prof, scheme, opt)
+		return runProfile(ctx, prof, scheme, opt)
 	})
 }
 
-// runProfile is the uncached simulation. opt must already have defaults
-// applied.
-func runProfile(prof trace.Profile, scheme Scheme, opt Options) (*mcd.Result, error) {
+// validateRun front-loads every input check so bad specs surface as
+// ErrInvalidSpec at the API boundary instead of panics (or cryptic
+// construction errors) from deep inside the simulator. opt must
+// already have defaults applied.
+func validateRun(prof trace.Profile, scheme Scheme, opt Options) error {
+	if err := prof.Validate(); err != nil {
+		return invalidSpec(err)
+	}
+	cfg := opt.machine()
+	if err := cfg.Validate(); err != nil {
+		return invalidSpec(err)
+	}
+	switch scheme {
+	case SchemeNone, SchemeAdaptive, SchemePID, SchemeAttackDecay, SchemeGlobal:
+	default:
+		return invalidSpec(fmt.Errorf("experiment: unknown scheme %q", scheme))
+	}
+	return nil
+}
+
+// runProfile is the uncached simulation. opt must already have
+// defaults applied and been validated. A panic anywhere below —
+// trace generation, construction, the simulator hot loop — is
+// recovered into ErrRunPanicked so one bad run cannot kill a sweep.
+func runProfile(ctx context.Context, prof trace.Profile, scheme Scheme, opt Options) (res *mcd.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("%s/%s: %w: %v", prof.Name, scheme, ErrRunPanicked, r)
+		}
+	}()
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
+	}
 	cfg := opt.machine()
 	gen, err := trace.NewGenerator(prof, opt.Seed+11, opt.Instructions)
 	if err != nil {
-		return nil, err
+		return nil, invalidSpec(err)
 	}
 	p, err := mcd.New(cfg)
 	if err != nil {
-		return nil, err
+		return nil, invalidSpec(err)
 	}
 	if err := attach(p, scheme, opt); err != nil {
 		return nil, err
 	}
-	res, err := p.Run(gen)
+	res, err = p.RunContext(ctx, gen)
 	if err != nil {
-		return nil, fmt.Errorf("%s/%s: %w", prof.Name, scheme, err)
+		return nil, fmt.Errorf("%s/%s: %w", prof.Name, scheme, wrapRunErr(err))
 	}
 	res.Scheme = string(scheme)
 	return res, nil
@@ -200,13 +277,29 @@ type Matrix struct {
 	Benchmarks []string
 	// Results[bench][scheme]
 	Results map[string]map[Scheme]*mcd.Result
+	// Failures lists the cells that did not produce a result (panic,
+	// timeout, cancellation, bad spec). The rest of the matrix is
+	// intact; renderers skip incomplete rows.
+	Failures []CellError
 }
 
 // RunMatrix simulates every benchmark under every scheme (including
 // the baseline). Cells run in parallel — every simulation is an
 // independent, internally deterministic single-threaded machine, so
 // the matrix contents are identical to a serial run.
+//
+// A failing cell no longer aborts the sweep: its structured error goes
+// to Matrix.Failures and every other cell completes. The returned
+// error is non-nil only when the whole sweep is compromised — the
+// context was cancelled, or not a single cell succeeded.
 func RunMatrix(opt Options) (*Matrix, error) {
+	return RunMatrixContext(opt.ctx(), opt)
+}
+
+// RunMatrixContext is RunMatrix with explicit cancellation. On
+// cancellation the partial matrix is returned alongside an
+// ErrCancelled error so callers can flush what finished.
+func RunMatrixContext(ctx context.Context, opt Options) (*Matrix, error) {
 	opt = opt.withDefaults()
 	m := &Matrix{
 		Options:    opt,
@@ -227,9 +320,9 @@ func RunMatrix(opt Options) (*Matrix, error) {
 	}
 
 	var mu sync.Mutex
-	err := forEachParallel(len(cells), func(i int) error {
+	errs := forEachParallel(ctx, len(cells), func(i int) error {
 		c := cells[i]
-		res, err := RunOne(c.bench, c.scheme, opt)
+		res, err := RunOneContext(ctx, c.bench, c.scheme, opt)
 		if err != nil {
 			return err
 		}
@@ -246,34 +339,64 @@ func RunMatrix(opt Options) (*Matrix, error) {
 		mu.Unlock()
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	for _, te := range errs {
+		c := cells[te.index]
+		m.Failures = append(m.Failures, CellError{Bench: c.bench, Scheme: c.scheme, Err: te.err})
+	}
+	if err := ctx.Err(); err != nil {
+		return m, fmt.Errorf("matrix: %w: %v", ErrCancelled, err)
+	}
+	if len(m.Failures) == len(cells) && len(cells) > 0 {
+		return m, fmt.Errorf("matrix: every cell failed, first: %w", m.Failures[0].Err)
 	}
 	return m, nil
 }
 
+// Complete reports whether a benchmark has a result for the baseline
+// and every controlled scheme.
+func (m *Matrix) Complete(bench string) bool {
+	row := m.Results[bench]
+	if row[SchemeNone] == nil {
+		return false
+	}
+	for _, s := range ControlledSchemes() {
+		if row[s] == nil {
+			return false
+		}
+	}
+	return true
+}
+
 // Compare returns the paper's three metrics for one benchmark/scheme
-// cell against the no-DVFS baseline.
+// cell against the no-DVFS baseline. A cell missing due to a recorded
+// failure compares as zero.
 func (m *Matrix) Compare(bench string, scheme Scheme) power.Comparison {
 	base := m.Results[bench][SchemeNone]
 	run := m.Results[bench][scheme]
+	if base == nil || run == nil {
+		return power.Comparison{}
+	}
 	return power.Compare(base.Metrics, run.Metrics)
 }
 
 // MeanComparison averages a scheme's metrics over a benchmark subset
-// (nil = all).
+// (nil = all), skipping benchmarks whose cells failed.
 func (m *Matrix) MeanComparison(scheme Scheme, subset []string) power.Comparison {
 	if subset == nil {
 		subset = m.Benchmarks
 	}
 	var sum power.Comparison
+	n := 0.0
 	for _, b := range subset {
+		if m.Results[b][SchemeNone] == nil || m.Results[b][scheme] == nil {
+			continue
+		}
 		c := m.Compare(b, scheme)
 		sum.EnergySaving += c.EnergySaving
 		sum.PerfDegradation += c.PerfDegradation
 		sum.EDPImprovement += c.EDPImprovement
+		n++
 	}
-	n := float64(len(subset))
 	if n == 0 {
 		return power.Comparison{}
 	}

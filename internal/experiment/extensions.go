@@ -303,7 +303,7 @@ func SeedStudy(opt Options, benchmarks []string, seeds int) (Report, error) {
 		"energy save (mean±sd)", "perf degr. (mean±sd)", "EDP impr. (mean±sd)")}
 	for _, b := range opt.Benchmarks {
 		comps := make([]power.Comparison, seeds)
-		err := forEachParallel(seeds, func(i int) error {
+		err := firstError(forEachParallel(opt.ctx(), seeds, func(i int) error {
 			sub := opt
 			sub.Seed = opt.Seed + int64(i)*1000
 			base, err := RunOne(b, SchemeNone, sub)
@@ -316,7 +316,7 @@ func SeedStudy(opt Options, benchmarks []string, seeds int) (Report, error) {
 			}
 			comps[i] = power.Compare(base.Metrics, run.Metrics)
 			return nil
-		})
+		}))
 		if err != nil {
 			return Report{}, err
 		}

@@ -70,7 +70,7 @@ type BenchClass struct {
 func ClassifyBenchmarks(opt Options) ([]BenchClass, error) {
 	opt = opt.withDefaults()
 	out := make([]BenchClass, len(opt.Benchmarks))
-	err := forEachParallel(len(opt.Benchmarks), func(i int) error {
+	err := firstError(forEachParallel(opt.ctx(), len(opt.Benchmarks), func(i int) error {
 		b := opt.Benchmarks[i]
 		res, err := RunOne(b, SchemeNone, opt)
 		if err != nil {
@@ -101,7 +101,7 @@ func ClassifyBenchmarks(opt Options) ([]BenchClass, error) {
 		bc.Fast = bc.ShortShare > spectrum.DefaultFastShareThreshold
 		out[i] = bc
 		return nil
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -253,7 +253,12 @@ func (m *Matrix) figure(id, title string, sel comparisonSelector) Report {
 		header += fmt.Sprintf(" %12s", s)
 	}
 	lines := []string{header}
+	skipped := 0
 	for _, b := range m.Benchmarks {
+		if !m.Complete(b) {
+			skipped++
+			continue
+		}
 		row := fmt.Sprintf("%-14s", b)
 		for _, s := range schemes {
 			c := m.Compare(b, s)
@@ -267,7 +272,11 @@ func (m *Matrix) figure(id, title string, sel comparisonSelector) Report {
 		avg += fmt.Sprintf(" %11.2f%%", 100*sel(c.EnergySaving, c.PerfDegradation, c.EDPImprovement))
 	}
 	lines = append(lines, avg)
-	return Report{ID: id, Title: title, Lines: lines}
+	rep := Report{ID: id, Title: title, Lines: lines}
+	if skipped > 0 {
+		rep.Notes = append(rep.Notes, fmt.Sprintf("%d benchmark(s) omitted: cells failed (see matrix failure list)", skipped))
+	}
+	return rep
 }
 
 // Table3Report renders the PID-interval sweep against the adaptive
@@ -319,7 +328,7 @@ func meanOver(opt Options, scheme Scheme, pidTicks int) (powerComparison, error)
 	opt = opt.withDefaults()
 	opt.PIDIntervalTicks = pidTicks
 	comps := make([]powerComparison, len(opt.Benchmarks))
-	err := forEachParallel(len(opt.Benchmarks), func(i int) error {
+	err := firstError(forEachParallel(opt.ctx(), len(opt.Benchmarks), func(i int) error {
 		b := opt.Benchmarks[i]
 		base, err := RunOne(b, SchemeNone, opt)
 		if err != nil {
@@ -331,7 +340,7 @@ func meanOver(opt Options, scheme Scheme, pidTicks int) (powerComparison, error)
 		}
 		comps[i] = power.Compare(base.Metrics, run.Metrics)
 		return nil
-	})
+	}))
 	if err != nil {
 		return powerComparison{}, err
 	}

@@ -1,0 +1,242 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"mcddvfs/internal/control"
+	"mcddvfs/internal/faults"
+)
+
+// marshal renders a result for byte-level comparison.
+func marshal(t *testing.T, v interface{}) []byte {
+	t.Helper()
+	blob, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestZeroFaultConfigBitIdentical is the acceptance contract for the
+// injection layer: a fault config with no fault knobs set (seed
+// included) must leave the simulation on its pre-fault code paths and
+// produce byte-identical results.
+func TestZeroFaultConfigBitIdentical(t *testing.T) {
+	defer func() { SetCaching(true); ResetCache() }()
+	SetCaching(false)
+	opt := Options{Instructions: 20000, Seed: 3}
+
+	clean, err := RunOne("gzip", SchemeAdaptive, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Faults = faults.Config{Seed: 99} // a seed alone enables nothing
+	zero, err := RunOne("gzip", SchemeAdaptive, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(marshal(t, clean)) != string(marshal(t, zero)) {
+		t.Fatal("zero-value fault config changed the simulation output")
+	}
+
+	// Sanity check the other direction: enabled faults must actually
+	// perturb the run, or the sweep measures nothing.
+	opt.Faults = faults.Intensity(1, 3)
+	faulty, err := RunOne("gzip", SchemeAdaptive, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(marshal(t, clean)) == string(marshal(t, faulty)) {
+		t.Fatal("full-intensity faults left the simulation output unchanged")
+	}
+}
+
+// TestFaultSeedDeterministicReplay asserts a faulty run is as
+// reproducible as a clean one: the same fault seed replays
+// byte-identically, and a different seed draws a different fault
+// sequence.
+func TestFaultSeedDeterministicReplay(t *testing.T) {
+	defer func() { SetCaching(true); ResetCache() }()
+	SetCaching(false)
+	opt := Options{Instructions: 20000, Seed: 3, Faults: faults.Intensity(0.75, 17)}
+
+	a, err := RunOne("gzip", SchemeAdaptive, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOne("gzip", SchemeAdaptive, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(marshal(t, a)) != string(marshal(t, b)) {
+		t.Fatal("same fault seed did not replay byte-identically")
+	}
+
+	opt.Faults = faults.Intensity(0.75, 18)
+	c, err := RunOne("gzip", SchemeAdaptive, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(marshal(t, a)) == string(marshal(t, c)) {
+		t.Fatal("different fault seeds produced identical fault sequences")
+	}
+}
+
+// TestMatrixPartialFailure asserts one bad cell does not poison a
+// sweep: the unknown benchmark's cells land in Failures as
+// ErrInvalidSpec while every other cell completes.
+func TestMatrixPartialFailure(t *testing.T) {
+	defer func() { SetCaching(true); ResetCache() }()
+	SetCaching(true)
+	ResetCache()
+	opt := Options{Instructions: 20000, Seed: 3, Benchmarks: []string{"gzip", "no_such_bench"}}
+
+	m, err := RunMatrix(opt)
+	if err != nil {
+		t.Fatalf("partial failure escalated to a sweep error: %v", err)
+	}
+	perBench := 1 + len(ControlledSchemes())
+	if len(m.Failures) != perBench {
+		t.Fatalf("got %d failures, want %d (one per scheme of the bad benchmark)", len(m.Failures), perBench)
+	}
+	for _, f := range m.Failures {
+		if f.Bench != "no_such_bench" {
+			t.Errorf("healthy benchmark %q reported a failure: %v", f.Bench, f.Err)
+		}
+		if !errors.Is(f.Err, ErrInvalidSpec) {
+			t.Errorf("unknown benchmark not classified ErrInvalidSpec: %v", f.Err)
+		}
+	}
+	if !m.Complete("gzip") {
+		t.Error("healthy benchmark row is incomplete")
+	}
+	if m.Complete("no_such_bench") {
+		t.Error("failed benchmark row claims to be complete")
+	}
+	if c := m.Compare("no_such_bench", SchemeAdaptive); c != (m.Compare("no_such_bench", SchemePID)) {
+		_ = c // both are zero Comparisons; just exercising nil-safety
+	}
+}
+
+// TestMatrixPanicIsolation asserts a panic inside one cell's simulation
+// is recovered into ErrRunPanicked for that cell only. Caching is off
+// so the panicking MutateAdaptive runs only where it is attached — the
+// adaptive cells — instead of in every cell's cache-key derivation.
+func TestMatrixPanicIsolation(t *testing.T) {
+	defer func() { SetCaching(true); ResetCache() }()
+	SetCaching(false)
+	opt := Options{
+		Instructions:   20000,
+		Seed:           3,
+		Benchmarks:     []string{"gzip"},
+		MutateAdaptive: func(c *control.Config) { panic("rigged controller") },
+	}
+
+	m, err := RunMatrix(opt)
+	if err != nil {
+		t.Fatalf("one panicking scheme escalated to a sweep error: %v", err)
+	}
+	if len(m.Failures) != 1 {
+		t.Fatalf("got %d failures, want exactly the adaptive cell: %+v", len(m.Failures), m.Failures)
+	}
+	f := m.Failures[0]
+	if f.Bench != "gzip" || f.Scheme != SchemeAdaptive {
+		t.Errorf("failure at %s/%s, want gzip/adaptive", f.Bench, f.Scheme)
+	}
+	if !errors.Is(f.Err, ErrRunPanicked) {
+		t.Errorf("panic not classified ErrRunPanicked: %v", f.Err)
+	}
+	for _, s := range []Scheme{SchemeNone, SchemePID, SchemeAttackDecay} {
+		if m.Results["gzip"][s] == nil {
+			t.Errorf("%s cell missing although only adaptive panicked", s)
+		}
+	}
+}
+
+// TestRunTimeout asserts a deadline shorter than any simulation
+// surfaces as ErrRunTimeout.
+func TestRunTimeout(t *testing.T) {
+	defer func() { SetCaching(true); ResetCache() }()
+	SetCaching(false)
+	opt := Options{Instructions: 20000, Seed: 3, Timeout: time.Nanosecond}
+	_, err := RunOne("gzip", SchemeAdaptive, opt)
+	if !errors.Is(err, ErrRunTimeout) {
+		t.Fatalf("got %v, want ErrRunTimeout", err)
+	}
+}
+
+// TestRunCancelled asserts a cancelled context surfaces as
+// ErrCancelled.
+func TestRunCancelled(t *testing.T) {
+	defer func() { SetCaching(true); ResetCache() }()
+	SetCaching(false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := Options{Instructions: 20000, Seed: 3}
+	_, err := RunOneContext(ctx, "gzip", SchemeAdaptive, opt)
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("got %v, want ErrCancelled", err)
+	}
+}
+
+// TestTransientErrorsNotMemoized asserts a timeout is never replayed
+// from the result cache: the same key re-simulates once the deadline
+// pressure is gone.
+func TestTransientErrorsNotMemoized(t *testing.T) {
+	defer func() { SetCaching(true); ResetCache() }()
+	SetCaching(true)
+	ResetCache()
+	opt := Options{Instructions: 20000, Seed: 3, Timeout: time.Nanosecond}
+	if _, err := RunOne("gzip", SchemeAdaptive, opt); !errors.Is(err, ErrRunTimeout) {
+		t.Fatalf("setup: got %v, want ErrRunTimeout", err)
+	}
+	opt.Timeout = 0 // same cache key: Timeout is not part of the simulation input
+	res, err := RunOne("gzip", SchemeAdaptive, opt)
+	if err != nil {
+		t.Fatalf("timeout failure was replayed from the cache: %v", err)
+	}
+	if res == nil {
+		t.Fatal("no result after retry")
+	}
+}
+
+// TestFaultSweepReport asserts the robustness artifact is generated,
+// shaped as expected, and deterministic under a fixed seed even when
+// every simulation is redone from scratch.
+func TestFaultSweepReport(t *testing.T) {
+	defer func() { SetCaching(true); ResetCache() }()
+	SetCaching(true)
+	ResetCache()
+	opt := Options{Instructions: 20000, Seed: 3}
+	intensities := []float64{0, 1}
+
+	rep, err := FaultSweep(opt, []string{"gzip"}, intensities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "robustness" {
+		t.Errorf("report ID %q, want robustness", rep.ID)
+	}
+	// Header, one row per intensity, and the degradation summary.
+	if want := 1 + len(intensities) + 1; len(rep.Lines) != want {
+		t.Errorf("report has %d lines, want %d:\n%s", len(rep.Lines), want, rep.String())
+	}
+
+	ResetCache() // force a full re-simulation of every cell
+	again, err := FaultSweep(opt, []string{"gzip"}, intensities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, again) {
+		t.Errorf("fault sweep is not deterministic for a fixed seed:\n%s\nvs\n%s", rep.String(), again.String())
+	}
+
+	if _, err := FaultSweep(opt, []string{"gzip"}, []float64{2}); !errors.Is(err, ErrInvalidSpec) {
+		t.Errorf("out-of-range intensity accepted: %v", err)
+	}
+}

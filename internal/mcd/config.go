@@ -13,6 +13,7 @@ import (
 	"mcddvfs/internal/cache"
 	"mcddvfs/internal/clock"
 	"mcddvfs/internal/dvfs"
+	"mcddvfs/internal/faults"
 	"mcddvfs/internal/power"
 	"mcddvfs/internal/queue"
 )
@@ -108,6 +109,12 @@ type Config struct {
 	// Seed makes runs reproducible.
 	Seed int64
 
+	// Faults configures the deterministic fault-injection layer on the
+	// DVFS control loop's sensor and actuator paths. The zero value
+	// disables injection and leaves every output bit-identical to a
+	// machine built without it.
+	Faults faults.Config
+
 	// SampleLimit bounds retained occupancy samples per queue
 	// (0 = unlimited). Controllers always see live values.
 	SampleLimit int
@@ -177,7 +184,22 @@ func (c *Config) Validate() error {
 	if c.SyncWindowPS < 0 || c.JitterPS < 0 {
 		return fmt.Errorf("mcd: negative sync window or jitter")
 	}
+	if c.SyncPolicy != queue.SyncArbitration && c.SyncPolicy != queue.SyncTokenRing {
+		return fmt.Errorf("mcd: unknown sync policy %d", int(c.SyncPolicy))
+	}
+	if c.DeepSleepFactor < 0 {
+		return fmt.Errorf("mcd: negative DeepSleepFactor %g", c.DeepSleepFactor)
+	}
+	if c.ControlFrontEnd && !c.SplitFrontEnd {
+		return fmt.Errorf("mcd: ControlFrontEnd requires SplitFrontEnd")
+	}
 	if err := c.Range.Validate(); err != nil {
+		return err
+	}
+	if err := c.Cache.Validate(); err != nil {
+		return err
+	}
+	if err := c.Faults.Validate(); err != nil {
 		return err
 	}
 	for _, name := range []string{NameFrontEnd, NameInt, NameFP, NameLS} {

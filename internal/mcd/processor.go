@@ -1,12 +1,14 @@
 package mcd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"mcddvfs/internal/bpred"
 	"mcddvfs/internal/cache"
 	"mcddvfs/internal/clock"
+	"mcddvfs/internal/faults"
 	"mcddvfs/internal/isa"
 	"mcddvfs/internal/power"
 	"mcddvfs/internal/queue"
@@ -91,9 +93,17 @@ type Processor struct {
 	freqTrace   [isa.NumExecDomains][]FreqPoint
 	lastTraceF  [isa.NumExecDomains]float64
 
+	// Fault-injection hooks on the control loop (nil = clean). Sensors
+	// corrupt what controllers observe; actuators corrupt what reaches
+	// the clock domains. Samplers always record ground truth.
+	sensors   [isa.NumExecDomains]*faults.Sensor
+	actuators [isa.NumExecDomains]*faults.Actuator
+
 	// Dispatch-domain control (5-domain machines with ControlFrontEnd).
 	feController Controller
 	feSampler    *queue.Sampler
+	feSensor     *faults.Sensor
+	feActuator   *faults.Actuator
 
 	src trace.Source
 
@@ -142,8 +152,13 @@ func New(cfg Config) (*Processor, error) {
 	}
 	p.issueScratch = make([]int, 0, cfg.IssueWidth)
 
-	if cfg.ControlFrontEnd && !cfg.SplitFrontEnd {
-		return nil, fmt.Errorf("mcd: ControlFrontEnd requires SplitFrontEnd")
+	if inj := faults.NewInjector(cfg.Faults, cfg.SamplingPeriod()); inj != nil {
+		for d := 0; d < isa.NumExecDomains; d++ {
+			p.sensors[d] = inj.Sensor(d)
+			p.actuators[d] = inj.Actuator(d)
+		}
+		p.feSensor = inj.Sensor(isa.NumExecDomains)
+		p.feActuator = inj.Actuator(isa.NumExecDomains)
 	}
 	slew := cfg.Transitions.SlewPerMHz(cfg.Range)
 	feCfg := clock.DomainConfig{
@@ -241,11 +256,27 @@ func (p *Processor) Domain(d isa.ExecDomain) *clock.Domain { return p.exec[d] }
 // result. Any trace.Source works: a synthetic Generator or a replayed
 // trace.Reader. A Processor can run only once.
 func (p *Processor) Run(src trace.Source) (*Result, error) {
+	return p.RunContext(context.Background(), src)
+}
+
+// ctxCheckInterval is how many clock edges pass between context
+// checks: frequent enough that cancellation lands within microseconds
+// of wall time, rare enough that the per-edge cost is one decrement.
+const ctxCheckInterval = 1 << 16
+
+// RunContext is Run with cancellation: the simulation aborts with
+// ctx.Err() (context.Canceled or context.DeadlineExceeded) shortly
+// after the context ends. A cancelled Processor is spent, like any
+// other that has run.
+func (p *Processor) RunContext(ctx context.Context, src trace.Source) (*Result, error) {
 	if p.ran {
 		return nil, errors.New("mcd: Processor.Run called twice; create a new Processor per run")
 	}
 	p.ran = true
 	p.src = src
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Deadlock guard: the machine must commit something at least every
 	// 2 simulated milliseconds (worst-case memory-bound code commits
@@ -253,6 +284,7 @@ func (p *Processor) Run(src trace.Source) (*Result, error) {
 	const commitTimeout = 2 * clock.Millisecond
 
 	var now clock.Time
+	check := ctxCheckInterval
 	for {
 		t, ok := p.step()
 		if !ok {
@@ -264,6 +296,12 @@ func (p *Processor) Run(src trace.Source) (*Result, error) {
 		}
 		if now-p.lastCommit > commitTimeout {
 			return nil, fmt.Errorf("mcd: no commit progress since %v (now %v): likely scheduling deadlock", p.lastCommit, now)
+		}
+		if check--; check <= 0 {
+			check = ctxCheckInterval
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return p.collect(now), nil
@@ -739,7 +777,14 @@ func (p *Processor) sampleCycle(now clock.Time) {
 		p.samplers[dom].Record(occ)
 		d := p.exec[dom]
 		if c := p.controllers[dom]; c != nil {
-			target, change := c.Observe(now, occ, d.FreqMHz(now))
+			seen := occ
+			if s := p.sensors[dom]; s != nil {
+				seen = s.Read(occ)
+			}
+			target, change := c.Observe(now, seen, d.FreqMHz(now))
+			if a := p.actuators[dom]; a != nil {
+				target, change = a.Filter(now, target, change)
+			}
 			if change {
 				before := d.Transitions()
 				d.SetTarget(now, p.cfg.Range.Quantize(target))
@@ -757,7 +802,15 @@ func (p *Processor) sampleCycle(now clock.Time) {
 		occ := p.feQueue.Len()
 		p.feSampler.Record(occ)
 		if p.feController != nil {
-			if target, change := p.feController.Observe(now, occ, p.fe.FreqMHz(now)); change {
+			seen := occ
+			if s := p.feSensor; s != nil {
+				seen = s.Read(occ)
+			}
+			target, change := p.feController.Observe(now, seen, p.fe.FreqMHz(now))
+			if a := p.feActuator; a != nil {
+				target, change = a.Filter(now, target, change)
+			}
+			if change {
 				p.fe.SetTarget(now, p.cfg.Range.Quantize(target))
 			}
 		}
