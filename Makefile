@@ -1,0 +1,25 @@
+# Single entry points shared by local development and CI, so the two
+# can never drift: .github/workflows/ci.yml calls these same targets.
+
+GO ?= go
+
+.PHONY: build test race lint bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint = the standard toolchain vet plus the repo's own invariant
+# suite (docs/LINTING.md): determinism of the simulator and artifact
+# rendering, cancellation flow, and the harness error taxonomy.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/mcdlint ./...
+
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkSimulatorThroughput -benchtime 1x -benchmem .

@@ -1,0 +1,103 @@
+// Command mcdlint runs the repo's custom determinism and harness
+// invariant analyzers (see docs/LINTING.md) over Go packages.
+//
+// Usage:
+//
+//	mcdlint [-run detrange,ctxflow] [-list] [packages]
+//
+// Packages default to ./... relative to the working directory. The
+// exit status is 0 when the tree is clean, 1 when any diagnostic is
+// reported, and 2 when the packages cannot be loaded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mcddvfs/internal/lint"
+	"mcddvfs/internal/lint/analysis"
+	"mcddvfs/internal/lint/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("mcdlint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	// The full suite always runs — that keeps //lint:allow directive
+	// validation exact — and -run filters which diagnostics surface.
+	selected := make(map[string]bool)
+	if *only != "" {
+		byName := make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			byName[a.Name] = true
+		}
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if !byName[name] {
+				fmt.Fprintf(os.Stderr, "mcdlint: unknown analyzer %q\n", name)
+				return 2
+			}
+			selected[name] = true
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcdlint: %v\n", err)
+		return 2
+	}
+
+	diags, err := analysis.Run(lint.Targets(pkgs), analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcdlint: %v\n", err)
+		return 2
+	}
+	if len(selected) > 0 {
+		kept := diags[:0]
+		for _, d := range diags {
+			if selected[d.Analyzer] {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+
+	cwd, _ := os.Getwd()
+	fset := pkgs[0].Fset
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		name := pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	return 1
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles the mcdlint binary once per test.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mcdlint")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building mcdlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// run executes the binary in dir and returns its combined output and
+// exit code.
+func runLint(t *testing.T, bin, dir string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("running mcdlint: %v\n%s", err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+// TestFixtureViolations runs the multichecker end to end against the
+// fixture module, which seeds at least one violation per analyzer:
+// exit status 1 and a diagnostic from each of the four checkers.
+func TestFixtureViolations(t *testing.T) {
+	bin := buildLint(t)
+	out, code := runLint(t, bin, "../../internal/lint/testdata/src/fixture.example", "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out)
+	}
+	for _, want := range []string{
+		"[detrange] range over map",
+		"[detsource] wall clock time.Now",
+		"[detsource] global math/rand",
+		"[detsource] %p formats a memory address",
+		"[ctxflow] SpawnAll starts goroutines",
+		"[ctxflow] Sweep accepts a context.Context but never propagates",
+		"[errtaxonomy] Run returns a raw errors.New",
+		"[errtaxonomy] Run returns fmt.Errorf without %w",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	// The escape hatch must have silenced the waived loop.
+	if strings.Contains(out, "Fingerprint") || strings.Contains(out, "lintdirective") {
+		t.Errorf("suppressed or directive diagnostics leaked into output:\n%s", out)
+	}
+}
+
+// TestRepoIsClean is the acceptance gate: the shipped tree has zero
+// violations, so the binary exits 0 and prints nothing.
+func TestRepoIsClean(t *testing.T) {
+	bin := buildLint(t)
+	out, code := runLint(t, bin, "../..", "./...")
+	if code != 0 || strings.TrimSpace(out) != "" {
+		t.Fatalf("mcdlint on the repo: exit %d\n%s", code, out)
+	}
+}
+
+// TestSelectAnalyzers exercises -run filtering and -list.
+func TestSelectAnalyzers(t *testing.T) {
+	bin := buildLint(t)
+	out, code := runLint(t, bin, "../../internal/lint/testdata/src/fixture.example", "-run", "errtaxonomy", "./internal/experiment")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out)
+	}
+	if strings.Contains(out, "[ctxflow]") || !strings.Contains(out, "[errtaxonomy]") {
+		t.Errorf("-run errtaxonomy ran the wrong analyzers:\n%s", out)
+	}
+
+	out, code = runLint(t, bin, ".", "-list")
+	if code != 0 {
+		t.Fatalf("-list exit code = %d\n%s", code, out)
+	}
+	for _, name := range []string{"detrange", "detsource", "ctxflow", "errtaxonomy"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}

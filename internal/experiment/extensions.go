@@ -297,7 +297,7 @@ func SeedStudy(opt Options, benchmarks []string, seeds int) (Report, error) {
 		opt.Benchmarks = benchmarks
 	}
 	if seeds < 2 {
-		return Report{}, fmt.Errorf("experiment: seed study needs >= 2 seeds")
+		return Report{}, invalidSpec(fmt.Errorf("experiment: seed study needs >= 2 seeds"))
 	}
 	lines := []string{fmt.Sprintf("%-14s %22s %22s %22s", "benchmark",
 		"energy save (mean±sd)", "perf degr. (mean±sd)", "EDP impr. (mean±sd)")}

@@ -285,7 +285,7 @@ func (m *Matrix) figure(id, title string, sel comparisonSelector) Report {
 func Table3(opt Options, fastGroup []string) (Report, error) {
 	opt = opt.withDefaults()
 	if len(fastGroup) == 0 {
-		return Report{}, fmt.Errorf("experiment: empty fast group")
+		return Report{}, invalidSpec(fmt.Errorf("experiment: empty fast group"))
 	}
 	sort.Strings(fastGroup)
 	sub := opt
@@ -391,6 +391,9 @@ func RemarksReport() (Report, error) {
 			f0, s.Km(f0), s.Kl(f0), real(r1), imag(r1), real(r2), imag(r2),
 			s.DampingRatio(f0), s.SettlingTime(f0), s.RiseTime(f0), 100*s.Overshoot(f0)))
 		if !s.Stable(f0) {
+			// An unstable default system is a broken build, not a
+			// caller-dispatchable failure mode.
+			//lint:allow errtaxonomy internal sanity check outside the run taxonomy
 			return Report{}, fmt.Errorf("experiment: default system unstable at f0=%g", f0)
 		}
 	}

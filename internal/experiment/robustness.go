@@ -38,10 +38,8 @@ func FaultSweepContext(ctx context.Context, opt Options, benchmarks []string, in
 	if len(intensities) == 0 {
 		intensities = DefaultFaultIntensities()
 	}
-	for _, lv := range intensities {
-		if lv < 0 || lv > 1 {
-			return Report{}, invalidSpec(fmt.Errorf("experiment: fault intensity %g outside [0,1]", lv))
-		}
+	if err := validateIntensities(intensities); err != nil {
+		return Report{}, err
 	}
 	schemes := ControlledSchemes()
 
@@ -114,13 +112,28 @@ func FaultSweepContext(ctx context.Context, opt Options, benchmarks []string, in
 		}
 	}
 
-	lines := []string{fmt.Sprintf("%-10s", "intensity") + func() string {
-		h := ""
-		for _, s := range schemes {
-			h += fmt.Sprintf(" %18s", string(s)+" EDP")
+	return renderFaultSweep(opt, schemes, intensities, mean, failures), nil
+}
+
+// validateIntensities bounds-checks the sweep grid.
+func validateIntensities(intensities []float64) error {
+	for _, lv := range intensities {
+		if lv < 0 || lv > 1 {
+			return invalidSpec(fmt.Errorf("experiment: fault intensity %g outside [0,1]", lv))
 		}
-		return h
-	}()}
+	}
+	return nil
+}
+
+// renderFaultSweep formats the aggregated sweep. Pure rendering over
+// in-memory data — kept out of the context-bearing sweep so the
+// cancellable function contains only cancellable work.
+func renderFaultSweep(opt Options, schemes []Scheme, intensities []float64, mean map[Scheme][]float64, failures []CellError) Report {
+	header := fmt.Sprintf("%-10s", "intensity")
+	for _, s := range schemes {
+		header += fmt.Sprintf(" %18s", string(s)+" EDP")
+	}
+	lines := []string{header}
 	for li, lv := range intensities {
 		row := fmt.Sprintf("%-10.2f", lv)
 		for _, s := range schemes {
@@ -148,5 +161,5 @@ func FaultSweepContext(ctx context.Context, opt Options, benchmarks []string, in
 	for _, f := range failures {
 		rep.Notes = append(rep.Notes, "failed cell: "+f.Error())
 	}
-	return rep, nil
+	return rep
 }

@@ -19,7 +19,9 @@ func Figure7SVG(opt Options) (string, error) {
 	}
 	tr := res.FreqTrace[mcd.NameFP]
 	if len(tr) < 2 {
-		return "", fmt.Errorf("experiment: frequency trace too short (%d points)", len(tr))
+		// Too few retired instructions to trace: a property of the
+		// requested run, so it joins the invalid-spec class.
+		return "", invalidSpec(fmt.Errorf("experiment: frequency trace too short (%d points)", len(tr)))
 	}
 	fmax := opt.machine().Range.MaxMHz
 	s := plot.Series{Name: "FP domain"}

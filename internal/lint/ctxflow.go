@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mcddvfs/internal/lint/analysis"
+)
+
+// CtxFlow locks in the experiment harness's cancellation contract
+// (introduced with the fault-injection PR): work started by the
+// harness must be cancellable end to end. Three rules, applied to
+// every function in internal/experiment:
+//
+//  1. spawn: a function that starts goroutines must accept a
+//     context.Context — fire-and-forget work cannot be cancelled;
+//  2. dead context: a function that accepts a context and then does
+//     real work (calls or loops) must use it — propagate it to a
+//     callee or poll ctx.Err/ctx.Done;
+//  3. poll in loops: inside a context-bearing function, every
+//     outermost loop that calls non-builtin functions must reference
+//     the context — either polling it or passing it to the callee.
+//     Loops that only shuffle data (builtins, index math) are exempt:
+//     they terminate promptly and have nothing to cancel.
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "requires harness functions to accept, propagate, and poll context.Context",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path(), harnessPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ctxNames := contextParams(pass, fn)
+
+	if len(ctxNames) == 0 {
+		if spawnsGoroutine(fn.Body) {
+			pass.Reportf(fn.Name.Pos(),
+				"%s starts goroutines but has no context.Context parameter; spawned work must be cancellable", fn.Name.Name)
+		}
+		return
+	}
+
+	if !mentionsAny(fn.Body, ctxNames) {
+		if doesWork(fn.Body) {
+			pass.Reportf(fn.Name.Pos(),
+				"%s accepts a context.Context but never propagates or polls it", fn.Name.Name)
+		}
+		return
+	}
+
+	for _, loop := range outermostLoops(fn.Body) {
+		if loopCallsWork(pass, loop) && !mentionsAny(loop, ctxNames) {
+			pass.Reportf(loop.Pos(),
+				"loop in %s calls into work without polling or propagating its context; check ctx.Err() or pass ctx to the callee", fn.Name.Name)
+		}
+	}
+}
+
+// contextParams returns the names of fn's context.Context parameters
+// (ignoring the blank identifier, which signals deliberate disuse).
+func contextParams(pass *analysis.Pass, fn *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	if fn.Type.Params == nil {
+		return out
+	}
+	for _, field := range fn.Type.Params.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil || types.TypeString(t, nil) != "context.Context" {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				out[name.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+func spawnsGoroutine(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// doesWork reports whether body contains a loop or any function call —
+// the threshold above which ignoring a context parameter stops being
+// harmless.
+func doesWork(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.CallExpr:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func mentionsAny(n ast.Node, names map[string]bool) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && names[id.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// outermostLoops returns body's loops that are not nested inside
+// another loop. Polling once per outer iteration is accepted, so only
+// the outermost level carries the requirement.
+func outermostLoops(body *ast.BlockStmt) []ast.Stmt {
+	var loops []ast.Stmt
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				if m != n {
+					loops = append(loops, m.(ast.Stmt))
+					return false // do not descend: nested loops are covered
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+	return loops
+}
+
+// loopCallsWork reports whether the loop body calls any non-builtin
+// function — i.e. performs work that could block or recurse, as
+// opposed to pure data shuffling.
+func loopCallsWork(pass *analysis.Pass, loop ast.Stmt) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		// Conversions are not calls.
+		if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+		found = true
+		return false
+	})
+	return found
+}

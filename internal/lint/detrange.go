@@ -1,0 +1,336 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mcddvfs/internal/lint/analysis"
+)
+
+// DetRange flags `range` over a map in the simulator and rendering
+// packages unless the loop body is provably order-insensitive.
+//
+// Go randomizes map iteration order on purpose, so any observable
+// output assembled by ranging over a map varies run to run — which
+// breaks the repo's bit-identical-replay contract (every EDP
+// comparison in EXPERIMENTS.md assumes deterministic reruns). A map
+// range is accepted when the body only performs commutative work:
+//
+//   - writes to (or deletes from) another map keyed per iteration,
+//   - integer accumulation (+=, -=, *=, |=, &=, ^=, ++, --) — float
+//     and string accumulation are rejected: float addition does not
+//     associate and string concatenation is ordered,
+//   - min/max tracking guarded by an order comparison,
+//   - collecting keys/values into a slice that is sorted in the same
+//     enclosing block before the loop's results can be observed.
+//
+// Everything else needs sorted keys or an explicit
+// `//lint:allow detrange <reason>`.
+var DetRange = &analysis.Analyzer{
+	Name: "detrange",
+	Doc:  "forbids order-dependent iteration over maps in deterministic packages",
+	Run:  runDetRange,
+}
+
+func runDetRange(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path(), renderPackages) {
+		return nil
+	}
+	w := &rangeWalker{pass: pass}
+	for _, f := range pass.Files {
+		w.walk(f)
+	}
+	return nil
+}
+
+type rangeWalker struct {
+	pass *analysis.Pass
+	// stack holds the ancestors of the node being visited, outermost
+	// first, so checkRange can find the enclosing block for the
+	// append-then-sort pattern.
+	stack []ast.Node
+}
+
+func (w *rangeWalker) walk(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			w.stack = w.stack[:len(w.stack)-1]
+			return true
+		}
+		w.stack = append(w.stack, n)
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			w.checkRange(rs)
+		}
+		return true
+	})
+}
+
+func (w *rangeWalker) checkRange(rs *ast.RangeStmt) {
+	t := w.pass.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	c := &bodyChecker{info: w.pass.Info}
+	if c.stmtsOK(rs.Body.List) {
+		if len(c.appended) == 0 {
+			return // purely commutative body
+		}
+		if w.sortedAfter(rs, c.appended) {
+			return // collect-then-sort idiom
+		}
+		w.pass.Reportf(rs.For,
+			"range over map %s collects into a slice that is never sorted; sort it before use", types.ExprString(rs.X))
+		return
+	}
+	w.pass.Reportf(rs.For,
+		"range over map %s has an order-dependent body; iterate sorted keys instead", types.ExprString(rs.X))
+}
+
+// sortedAfter reports whether, in the block enclosing rs, a later
+// statement sorts one of the slices the loop appended to.
+func (w *rangeWalker) sortedAfter(rs *ast.RangeStmt, appended map[string]bool) bool {
+	// Find the statement that is rs (or contains it) inside the
+	// nearest enclosing block.
+	for i := len(w.stack) - 2; i >= 0; i-- {
+		block, ok := w.stack[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		child := w.stack[i+1]
+		for j, s := range block.List {
+			if s != child {
+				continue
+			}
+			for _, later := range block.List[j+1:] {
+				if stmtSortsOneOf(later, appended) {
+					return true
+				}
+			}
+			return false
+		}
+		return false
+	}
+	return false
+}
+
+// stmtSortsOneOf reports whether s is a call into sort or slices whose
+// arguments mention one of the named slices.
+func stmtSortsOneOf(s ast.Stmt, names map[string]bool) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && names[id.Name] {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// bodyChecker decides whether a loop body is order-insensitive. It
+// records slices that received per-iteration appends; those are only
+// acceptable if sorted afterwards (the caller checks).
+type bodyChecker struct {
+	info     *types.Info
+	appended map[string]bool
+}
+
+func (c *bodyChecker) stmtsOK(list []ast.Stmt) bool {
+	for _, s := range list {
+		if !c.stmtOK(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *bodyChecker) stmtOK(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return c.assignOK(s, nil)
+	case *ast.IncDecStmt:
+		return true
+	case *ast.DeclStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	case *ast.BlockStmt:
+		return c.stmtsOK(s.List)
+	case *ast.IfStmt:
+		return c.ifOK(s)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// assignOK accepts map-index writes, integer accumulation, local
+// definitions, appends (recorded for the sort-after check), and — when
+// guard is an order comparison mentioning the target — plain min/max
+// assignments.
+func (c *bodyChecker) assignOK(s *ast.AssignStmt, guard ast.Expr) bool {
+	switch s.Tok {
+	case token.DEFINE:
+		return true
+	case token.ASSIGN:
+		for i, l := range s.Lhs {
+			if isBlank(l) {
+				continue
+			}
+			if ix, ok := l.(*ast.IndexExpr); ok {
+				if t := c.info.TypeOf(ix.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						continue
+					}
+				}
+			}
+			if i < len(s.Rhs) && isAppendTo(l, s.Rhs[i]) {
+				if c.appended == nil {
+					c.appended = make(map[string]bool)
+				}
+				c.appended[rootName(l)] = true
+				continue
+			}
+			if guard != nil && guardMentions(guard, l) {
+				continue // min/max update
+			}
+			return false
+		}
+		return true
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		for _, l := range s.Lhs {
+			t := c.info.TypeOf(l)
+			if t == nil || !isExactInteger(t) {
+				return false // float sums and string concat are ordered
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *bodyChecker) ifOK(s *ast.IfStmt) bool {
+	guard := orderComparison(s.Cond)
+	for _, st := range s.Body.List {
+		if as, ok := st.(*ast.AssignStmt); ok {
+			if c.assignOK(as, guard) {
+				continue
+			}
+			return false
+		}
+		if !c.stmtOK(st) {
+			return false
+		}
+	}
+	switch e := s.Else.(type) {
+	case nil:
+		return true
+	case *ast.IfStmt:
+		return c.ifOK(e)
+	case *ast.BlockStmt:
+		return c.stmtsOK(e.List)
+	default:
+		return false
+	}
+}
+
+// orderComparison returns cond when it is (or contains only) <, >, <=,
+// >= comparisons — the shape of a min/max guard — and nil otherwise.
+func orderComparison(cond ast.Expr) ast.Expr {
+	b, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	switch b.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return cond
+	case token.LAND, token.LOR:
+		if orderComparison(b.X) != nil && orderComparison(b.Y) != nil {
+			return cond
+		}
+	}
+	return nil
+}
+
+// guardMentions reports whether the comparison guard references the
+// assignment target, i.e. the update is of the `if v > best { best = v }`
+// family.
+func guardMentions(guard ast.Expr, target ast.Expr) bool {
+	name := rootName(target)
+	if name == "" {
+		return false
+	}
+	found := false
+	ast.Inspect(guard, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isAppendTo(lhs, rhs ast.Expr) bool {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	return rootName(call.Args[0]) == rootName(lhs) && rootName(lhs) != ""
+}
+
+func rootName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return rootName(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return rootName(e.X)
+	default:
+		return ""
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isExactInteger reports whether t's core type is an integer — the only
+// accumulator type whose += commutes bit-exactly.
+func isExactInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

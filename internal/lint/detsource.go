@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mcddvfs/internal/lint/analysis"
+)
+
+// DetSource forbids nondeterminism *sources* in the simulator
+// packages. Simulated time advances from the clock model and every
+// random stream is seeded from Config (the contract stated at the top
+// of internal/mcd/processor.go), so:
+//
+//   - time.Now / time.Since / time.Until are banned — wall-clock
+//     readings differ between runs;
+//   - package-level math/rand functions (rand.Intn, rand.Float64,
+//     rand.Seed, ...) are banned — the global source is shared,
+//     lock-contended, and unseeded by config. Constructing an owned
+//     generator (rand.New, rand.NewSource, rand.NewZipf, ...) stays
+//     legal: a *rand.Rand seeded from Config is the sanctioned idiom;
+//   - %p in format strings is banned — addresses change with every
+//     process and ASLR makes them useless even as stable labels.
+var DetSource = &analysis.Analyzer{
+	Name: "detsource",
+	Doc:  "forbids wall-clock, global-rand, and pointer-formatting nondeterminism sources in simulator packages",
+	Run:  runDetSource,
+}
+
+// wallClockFuncs are the banned time-package readings.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors are the math/rand (v1 and v2) package functions
+// that build an owned generator rather than using the global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDetSource(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path(), simPackages) {
+		return nil
+	}
+
+	// Identifier uses: wall clock and global rand. Info.Uses is a map,
+	// so collect first and let the driver's position sort keep the
+	// final diagnostics deterministic.
+	type use struct {
+		id  *ast.Ident
+		msg string
+	}
+	var uses []use
+	for id, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue // methods (e.g. (*rand.Rand).Float64) are fine
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if wallClockFuncs[fn.Name()] {
+				uses = append(uses, use{id, "wall clock time." + fn.Name() + " in a simulator package; simulated time must come from the clock model"})
+			}
+		case "math/rand", "math/rand/v2":
+			if !randConstructors[fn.Name()] {
+				uses = append(uses, use{id, "global math/rand." + fn.Name() + " in a simulator package; use a *rand.Rand seeded from Config"})
+			}
+		}
+	}
+	sort.Slice(uses, func(i, j int) bool { return uses[i].id.Pos() < uses[j].id.Pos() })
+	for _, u := range uses {
+		pass.Reportf(u.id.Pos(), "%s", u.msg)
+	}
+
+	// Format strings: %p leaks addresses into output.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+				return true
+			}
+			for _, arg := range call.Args {
+				lit, ok := arg.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				s, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					continue
+				}
+				if strings.Contains(s, "%p") || strings.Contains(s, "%#p") {
+					pass.Reportf(lit.Pos(), "%%p formats a memory address, which differs between runs; print a stable identifier instead")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

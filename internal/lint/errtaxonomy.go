@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"mcddvfs/internal/lint/analysis"
+)
+
+// ErrTaxonomy keeps the experiment harness's error taxonomy closed:
+// callers dispatch on the package's sentinel errors (ErrInvalidSpec,
+// ErrRunTimeout, ErrCancelled, ErrRunPanicked) with errors.Is, so an
+// ad-hoc error escaping an exported function is a silent API break —
+// it matches no sentinel and falls through every switch.
+//
+// For each exported function or method whose last result is error, a
+// return statement may not hand back a freshly minted, unclassified
+// error:
+//
+//   - `return errors.New(...)` is flagged — it can never match a
+//     sentinel;
+//   - `return fmt.Errorf(...)` without a %w verb is flagged for the
+//     same reason;
+//   - `fmt.Errorf` with %w is accepted: it wraps either a sentinel
+//     directly or an underlying error that already carries one
+//     (propagation is trusted — the analyzer checks construction
+//     sites, not data flow).
+//
+// Errors propagated via identifiers or helper calls are accepted —
+// the package's own helpers (invalidSpec, wrapRunErr) exist precisely
+// to centralize sentinel attachment.
+var ErrTaxonomy = &analysis.Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "requires errors crossing the harness boundary to wrap a taxonomy sentinel with %w",
+	Run:  runErrTaxonomy,
+}
+
+func runErrTaxonomy(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path(), harnessPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if !lastResultIsError(pass, fn) {
+				continue
+			}
+			checkReturns(pass, fn)
+		}
+	}
+	return nil
+}
+
+func lastResultIsError(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	res := fn.Type.Results
+	if res == nil || len(res.List) == 0 {
+		return false
+	}
+	t := pass.TypeOf(res.List[len(res.List)-1].Type)
+	return t != nil && types.TypeString(t, nil) == "error"
+}
+
+// checkReturns inspects fn's own return statements (not those of
+// nested function literals, which return from the literal).
+func checkReturns(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return true
+		}
+		checkErrExpr(pass, fn, ret.Results[len(ret.Results)-1])
+		return true
+	})
+}
+
+func checkErrExpr(pass *analysis.Pass, fn *ast.FuncDecl, e ast.Expr) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return // nil, variables, fields: propagation, trusted
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return // same-package helpers (invalidSpec, wrapRunErr) are fine
+	}
+	obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "errors.New":
+		pass.Reportf(e.Pos(),
+			"%s returns a raw errors.New error across the harness boundary; wrap a taxonomy sentinel with fmt.Errorf(\"%%w: ...\", ErrX, ...)", fn.Name.Name)
+	case "fmt.Errorf":
+		if len(call.Args) == 0 {
+			return
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return // non-literal format: not statically checkable
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return
+		}
+		if !strings.Contains(format, "%w") {
+			pass.Reportf(e.Pos(),
+				"%s returns fmt.Errorf without %%w across the harness boundary; wrap a taxonomy sentinel or the underlying error", fn.Name.Name)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Package lint hosts mcdlint's analyzers: repo-specific invariant
+// checkers for the determinism and cancellation contracts the
+// simulator and experiment harness promise (see docs/LINTING.md).
+//
+// The invariants, and the analyzer that owns each:
+//
+//   - Simulation output is bit-identical for identical configs.
+//     detrange forbids order-dependent iteration over maps, and
+//     detsource forbids wall-clock, global-randomness, and
+//     pointer-formatting inputs, in the simulator packages.
+//   - The experiment harness is cancellable and panic-safe.
+//     ctxflow enforces context acceptance, propagation, and polling;
+//     errtaxonomy keeps every error crossing the harness boundary
+//     attached to the ErrInvalidSpec/ErrRunTimeout/ErrCancelled/
+//     ErrRunPanicked taxonomy.
+package lint
+
+import (
+	"strings"
+
+	"mcddvfs/internal/lint/analysis"
+	"mcddvfs/internal/lint/load"
+)
+
+// simPackages are the deterministic-simulation packages: everything
+// that executes between a Config and a Result. Matched by import-path
+// suffix so the fixture module under testdata is covered by the same
+// rules as the real tree.
+var simPackages = []string{
+	"internal/mcd",
+	"internal/clock",
+	"internal/dvfs",
+	"internal/baselines",
+	"internal/faults",
+	"internal/queue",
+}
+
+// renderPackages extends the detrange scope to the experiment harness:
+// artifacts (tables, figures, SVGs) must also be byte-identical across
+// runs, so report rendering may not depend on map iteration order
+// either.
+var renderPackages = append([]string{"internal/experiment"}, simPackages...)
+
+// harnessPackages are where the cancellation and error-taxonomy
+// contracts live.
+var harnessPackages = []string{"internal/experiment"}
+
+// inScope reports whether an import path matches one of the scope
+// suffixes ("internal/mcd" matches both "mcddvfs/internal/mcd" and the
+// fixture module's "fixture.example/internal/mcd").
+func inScope(pkgPath string, scope []string) bool {
+	for _, s := range scope {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers returns the full mcdlint suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		DetRange,
+		DetSource,
+		CtxFlow,
+		ErrTaxonomy,
+	}
+}
+
+// Targets adapts loaded packages to the driver's view.
+func Targets(pkgs []*load.Package) []*analysis.Target {
+	out := make([]*analysis.Target, len(pkgs))
+	for i, p := range pkgs {
+		out[i] = &analysis.Target{Fset: p.Fset, Files: p.Files, Pkg: p.Pkg, Info: p.Info}
+	}
+	return out
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mcddvfs/internal/lint/linttest"
+)
+
+// The fixture module seeds at least one violation per analyzer plus
+// the compliant idioms each analyzer must accept; linttest fails on
+// any unexpected diagnostic, any unmatched expectation, and on an
+// analyzer that catches nothing.
+const fixtureDir = "testdata/src/fixture.example"
+
+func TestDetRange(t *testing.T)    { linttest.Run(t, fixtureDir, "detrange") }
+func TestDetSource(t *testing.T)   { linttest.Run(t, fixtureDir, "detsource") }
+func TestCtxFlow(t *testing.T)     { linttest.Run(t, fixtureDir, "ctxflow") }
+func TestErrTaxonomy(t *testing.T) { linttest.Run(t, fixtureDir, "errtaxonomy") }

@@ -1,0 +1,173 @@
+// Package linttest is a miniature analysistest: it runs the mcdlint
+// suite over the fixture module under internal/lint/testdata and
+// compares the diagnostics against expectations embedded in the
+// fixture sources.
+//
+// An expectation is a trailing comment of the form
+//
+//	// want <analyzer> `regexp`
+//
+// on the line where the diagnostic is reported. Multiple backquoted
+// patterns may follow one tag. Run fails the test on any unexpected
+// diagnostic, any unmatched expectation, and — to guarantee the suite
+// demonstrably catches violations — when the analyzer under test
+// matched no expectation at all.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"mcddvfs/internal/lint"
+	"mcddvfs/internal/lint/analysis"
+	"mcddvfs/internal/lint/load"
+)
+
+// want is one expectation parsed from a fixture source line.
+type want struct {
+	file     string
+	line     int
+	analyzer string
+	re       *regexp.Regexp
+	matched  bool
+}
+
+// diag is one reported diagnostic in file/line form.
+type diag struct {
+	file     string
+	line     int
+	analyzer string
+	message  string
+}
+
+var fixture struct {
+	once  sync.Once
+	err   error
+	wants []*want
+	diags []diag
+}
+
+var wantRE = regexp.MustCompile("// want ([a-z]+)((?: `[^`]+`)+)")
+var patRE = regexp.MustCompile("`([^`]+)`")
+
+// loadFixture runs the full suite over dir once per test binary.
+func loadFixture(dir string) error {
+	fixture.once.Do(func() { fixture.err = runSuite(dir) })
+	return fixture.err
+}
+
+func runSuite(dir string) error {
+	pkgs, err := load.Load(dir, "./...")
+	if err != nil {
+		return fmt.Errorf("loading fixture module: %w", err)
+	}
+	ds, err := analysis.Run(lint.Targets(pkgs), lint.Analyzers())
+	if err != nil {
+		return fmt.Errorf("running suite: %w", err)
+	}
+	if len(pkgs) == 0 {
+		return fmt.Errorf("fixture module %s matched no packages", dir)
+	}
+	fset := pkgs[0].Fset
+	for _, d := range ds {
+		pos := fset.Position(d.Pos)
+		fixture.diags = append(fixture.diags, diag{
+			file:     pos.Filename,
+			line:     pos.Line,
+			analyzer: d.Analyzer,
+			message:  d.Message,
+		})
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			name := fset.Position(f.Pos()).Filename
+			if err := parseWants(name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func parseWants(filename string) error {
+	src, err := os.ReadFile(filename)
+	if err != nil {
+		return err
+	}
+	for i, line := range strings.Split(string(src), "\n") {
+		m := wantRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, pm := range patRE.FindAllStringSubmatch(m[2], -1) {
+			re, err := regexp.Compile(pm[1])
+			if err != nil {
+				return fmt.Errorf("%s:%d: bad want pattern %q: %w", filename, i+1, pm[1], err)
+			}
+			fixture.wants = append(fixture.wants, &want{
+				file:     filename,
+				line:     i + 1,
+				analyzer: m[1],
+				re:       re,
+			})
+		}
+	}
+	return nil
+}
+
+// Run checks one analyzer's diagnostics against the fixture module at
+// dir (shared and evaluated once across all Run calls in a binary).
+func Run(t *testing.T, dir string, analyzer string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loadFixture(abs); err != nil {
+		t.Fatal(err)
+	}
+
+	matched := 0
+	for _, d := range fixture.diags {
+		if d.analyzer != analyzer {
+			continue
+		}
+		ok := false
+		for _, w := range fixture.wants {
+			if w.analyzer == analyzer && w.file == d.file && w.line == d.line && w.re.MatchString(d.message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s:%d: [%s] %s", rel(d.file), d.line, d.analyzer, d.message)
+			continue
+		}
+		matched++
+	}
+	for _, w := range fixture.wants {
+		if w.analyzer == analyzer && !w.matched {
+			t.Errorf("%s:%d: expected %s diagnostic matching %q, got none", rel(w.file), w.line, analyzer, w.re)
+		}
+	}
+	if matched == 0 && !t.Failed() {
+		t.Errorf("fixture demonstrates no %s violation; the analyzer is untested", analyzer)
+	}
+}
+
+func rel(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	if r, err := filepath.Rel(wd, path); err == nil {
+		return r
+	}
+	return path
+}

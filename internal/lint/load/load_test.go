@@ -1,0 +1,43 @@
+package load
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// TestLoadSelf loads this package through the real `go list -export`
+// path: metadata, parsing, and type-checking against export data all
+// have to line up for a single package to come back resolved.
+func TestLoadSelf(t *testing.T) {
+	pkgs, err := Load(".", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if !strings.HasSuffix(p.ImportPath, "internal/lint/load") {
+		t.Errorf("unexpected import path %q", p.ImportPath)
+	}
+	if len(p.Files) == 0 {
+		t.Errorf("no files parsed")
+	}
+	// The type-checker must have resolved imports through export
+	// data: Load's signature mentions *Package, so the package scope
+	// knows the type.
+	obj := p.Pkg.Scope().Lookup("Load")
+	if obj == nil {
+		t.Fatal("Load not found in package scope")
+	}
+	if _, ok := obj.Type().(*types.Signature); !ok {
+		t.Errorf("Load resolved to %T, want a function signature", obj.Type())
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	if _, err := Load(".", "./does-not-exist-anywhere"); err == nil {
+		t.Fatal("want error for nonexistent package pattern")
+	}
+}

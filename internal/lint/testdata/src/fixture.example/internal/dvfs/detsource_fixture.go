@@ -1,0 +1,35 @@
+// Package dvfs is a lint fixture for the detsource analyzer: its
+// import path ends in internal/dvfs, a simulator package, where
+// wall-clock readings, the global math/rand source, and pointer
+// formatting are all banned nondeterminism sources.
+package dvfs
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Jitter reads the wall clock and the global random source.
+func Jitter() time.Duration {
+	start := time.Now()      // want detsource `wall clock`
+	_ = rand.Float64()       // want detsource `global math/rand`
+	return time.Since(start) // want detsource `wall clock`
+}
+
+// Reseed perturbs the shared global generator.
+func Reseed(n int64) int {
+	rand.Seed(n)        // want detsource `global math/rand`
+	return rand.Intn(8) // want detsource `global math/rand`
+}
+
+// Label formats a map's address, which changes every process.
+func Label(m map[string]int) string {
+	return fmt.Sprintf("%p", m) // want detsource `memory address`
+}
+
+// Owned is fine: an owned generator seeded from configuration is the
+// sanctioned idiom.
+func Owned(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

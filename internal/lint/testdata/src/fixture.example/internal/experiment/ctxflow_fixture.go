@@ -1,0 +1,59 @@
+// Package experiment is a lint fixture for the harness-contract
+// analyzers (ctxflow, errtaxonomy): its import path ends in
+// internal/experiment, where work must be cancellable and errors must
+// carry the taxonomy sentinels.
+package experiment
+
+import "context"
+
+func work(string) {}
+
+// SpawnAll starts goroutines with no way to cancel them.
+func SpawnAll(items []string) { // want ctxflow `starts goroutines`
+	for _, it := range items {
+		go work(it)
+	}
+}
+
+// Sweep accepts a context and then ignores it entirely.
+func Sweep(ctx context.Context, items []string) { // want ctxflow `never propagates or polls`
+	for _, it := range items {
+		work(it)
+	}
+}
+
+// Process touches its context once up front but runs the whole sweep
+// loop without polling it.
+func Process(ctx context.Context, items []string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, it := range items { // want ctxflow `without polling`
+		work(it)
+	}
+	return nil
+}
+
+// Good polls per iteration: compliant.
+func Good(ctx context.Context, items []string) error {
+	for _, it := range items {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work(it)
+	}
+	return nil
+}
+
+// Render only shuffles in-memory data; loops without calls carry no
+// polling requirement.
+func Render(ctx context.Context, items []string) []string {
+	if ctx.Err() != nil {
+		return nil
+	}
+	out := make([]string, 0, len(items))
+	for _, it := range items {
+		out = append(out, it)
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidSpec mirrors the real harness taxonomy sentinel.
+var ErrInvalidSpec = errors.New("invalid run spec")
+
+// Run exercises every boundary-error shape the analyzer classifies.
+func Run(kind string) error {
+	switch kind {
+	case "":
+		return errors.New("empty kind") // want errtaxonomy `raw errors.New`
+	case "unknown":
+		return fmt.Errorf("experiment: unknown kind %q", kind) // want errtaxonomy `without %w`
+	case "bad":
+		return fmt.Errorf("%w: kind %q", ErrInvalidSpec, kind) // ok: wraps the sentinel
+	}
+	return nil
+}
+
+// Delegate propagates an error built by a helper: trusted.
+func Delegate(kind string) error {
+	if kind == "" {
+		return invalidKind(kind)
+	}
+	return nil
+}
+
+func invalidKind(kind string) error {
+	return fmt.Errorf("%w: kind %q", ErrInvalidSpec, kind)
+}

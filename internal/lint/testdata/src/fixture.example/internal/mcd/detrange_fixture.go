@@ -1,0 +1,88 @@
+// Package mcd is a lint fixture. Its import path ends in
+// internal/mcd, so the simulator-scope analyzers (detrange,
+// detsource) apply to it exactly as they do to the real simulator.
+package mcd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RenderStats appends formatted rows in map order and never sorts
+// them: the output differs run to run.
+func RenderStats(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want detrange `never sorted`
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	return out
+}
+
+// Joined concatenates strings in map order: order-dependent.
+func Joined(m map[string]int) string {
+	s := ""
+	for k := range m { // want detrange `order-dependent`
+		s += k
+	}
+	return s
+}
+
+// MeanValue accumulates floats in map order: float addition does not
+// associate, so even a "sum" is order-dependent bit-for-bit.
+func MeanValue(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want detrange `order-dependent`
+		sum += v
+	}
+	return sum / float64(len(m))
+}
+
+// Total is fine: integer accumulation commutes exactly.
+func Total(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// Invert is fine: per-iteration writes into another map commute.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// MaxValue is fine: min/max tracking guarded by an order comparison.
+func MaxValue(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// SortedKeys is fine: the collect-then-sort idiom.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Fingerprint is order-dependent but deliberately waived: the escape
+// hatch must silence the diagnostic (no want here).
+func Fingerprint(m map[string]int) int {
+	h := 1
+	//lint:allow detrange fixture demonstrates the escape hatch
+	for k, v := range m {
+		h = h*31 + len(k) + v
+	}
+	return h
+}

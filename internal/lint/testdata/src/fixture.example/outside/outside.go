@@ -1,0 +1,21 @@
+// Package outside sits in none of the analyzer scopes: everything the
+// suite bans elsewhere is legal here, so a clean run over this file
+// verifies the scoping (no want comments anywhere).
+package outside
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Shuffle would trip detrange, detsource, and ctxflow in scoped
+// packages.
+func Shuffle(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k
+	}
+	rand.Seed(time.Now().UnixNano())
+	return fmt.Sprintf("%s %p %d", out, m, rand.Int())
+}

@@ -9,6 +9,7 @@ package mcd
 
 import (
 	"fmt"
+	"sort"
 
 	"mcddvfs/internal/cache"
 	"mcddvfs/internal/clock"
@@ -173,8 +174,15 @@ func (c *Config) Validate() error {
 		"IntALUs": c.IntALUs, "IntMultDiv": c.IntMultDiv,
 		"FPALUs": c.FPALUs, "FPMultDiv": c.FPMultDiv, "MemPorts": c.MemPorts,
 	}
-	for name, v := range pos {
-		if v <= 0 {
+	// Sorted so the first failure reported is deterministic when
+	// several fields are invalid.
+	names := make([]string, 0, len(pos))
+	for name := range pos {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if v := pos[name]; v <= 0 {
 			return fmt.Errorf("mcd: %s must be positive, got %d", name, v)
 		}
 	}
