@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench
+.PHONY: build test race lint bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -22,4 +22,13 @@ lint:
 	$(GO) run ./cmd/mcdlint ./...
 
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkSimulatorThroughput -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkRunMatrix' -benchtime 1x -benchmem .
+
+# bench-compare re-runs the tracked benchmarks and diffs ns/op against
+# the committed baseline; fails past the tolerance. Single-iteration
+# runs on shared hardware are noisy — treat a failure as "look closer",
+# not proof of a regression (CI runs this job non-blocking).
+bench-compare:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkRunMatrix' -benchtime 1x -benchmem . \
+		| $(GO) run ./cmd/benchjson -out bench_new.json
+	$(GO) run ./cmd/benchjson -compare -tolerance 50 BENCH_baseline.json bench_new.json

@@ -195,6 +195,60 @@ func BenchmarkTransitionStyles(b *testing.B) {
 	}
 }
 
+// BenchmarkRunMatrix measures the benchmark × scheme sweep that feeds
+// Figures 9-11 under the four caching regimes: cold with the shared
+// trace bank (the default), cold with per-cell trace generation (the
+// pre-sharing behavior), warm from the in-process cache, and warm from
+// the on-disk cache (models re-rendering after process death).
+func BenchmarkRunMatrix(b *testing.B) {
+	opt := benchOpt(60000, "adpcm_encode", "gsm_decode", "gzip", "swim")
+	check := func(m *experiment.Matrix, err error) {
+		b.Helper()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(m.Failures) != 0 {
+			b.Fatal(m.Failures[0].Error())
+		}
+	}
+
+	b.Run("cold-shared-trace", func(b *testing.B) {
+		uncached(b)
+		for i := 0; i < b.N; i++ {
+			check(experiment.RunMatrix(opt))
+		}
+	})
+	b.Run("cold-per-cell-trace", func(b *testing.B) {
+		uncached(b)
+		experiment.SetTraceSharing(false)
+		b.Cleanup(func() { experiment.SetTraceSharing(true) })
+		for i := 0; i < b.N; i++ {
+			check(experiment.RunMatrix(opt))
+		}
+	})
+	b.Run("warm-memory", func(b *testing.B) {
+		experiment.ResetCache()
+		b.Cleanup(experiment.ResetCache)
+		check(experiment.RunMatrix(opt)) // populate
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			check(experiment.RunMatrix(opt))
+		}
+	})
+	b.Run("warm-disk", func(b *testing.B) {
+		dopt := opt
+		dopt.CacheDir = b.TempDir()
+		experiment.ResetCache()
+		b.Cleanup(experiment.ResetCache)
+		check(experiment.RunMatrix(dopt)) // populate the store
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			experiment.ResetCache() // drop memory: every cell decodes from disk
+			check(experiment.RunMatrix(dopt))
+		}
+	})
+}
+
 // ---------------------------------------------------------------------
 // Micro-benchmarks for the hot components.
 // ---------------------------------------------------------------------

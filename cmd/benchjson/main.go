@@ -6,6 +6,12 @@
 //
 //	go test -run '^$' -bench BenchmarkSimulatorThroughput -benchmem . | go run ./cmd/benchjson
 //	go test -bench . ./... | go run ./cmd/benchjson -out BENCH_baseline.json
+//
+// With -compare it instead diffs two such documents and exits 1 when
+// any benchmark present in both regressed its ns/op by more than
+// -tolerance percent (regressions only; speedups never fail):
+//
+//	go run ./cmd/benchjson -compare -tolerance 25 BENCH_baseline.json bench_new.json
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -41,7 +48,17 @@ type Baseline struct {
 
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
+	compare := flag.Bool("compare", false, "compare two baseline JSON files (old new) instead of parsing stdin")
+	tolerance := flag.Float64("tolerance", 25, "with -compare, max allowed ns/op regression in percent")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(compareBaselines(flag.Arg(0), flag.Arg(1), *tolerance))
+	}
 
 	base := Baseline{Context: map[string]string{}}
 	sc := bufio.NewScanner(os.Stdin)
@@ -85,6 +102,94 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// compareBaselines diffs old vs new by benchmark name and returns the
+// process exit code: 0 when every shared benchmark's ns/op regression
+// is within tolerance percent, 1 past it, 2 on unusable input.
+// Benchmarks present on only one side are reported but never fail the
+// comparison — adding or retiring a benchmark is not a regression.
+// Custom metric deltas (sim-insts/s, B/op, ...) are informational.
+func compareBaselines(oldPath, newPath string, tolerance float64) int {
+	load := func(path string) (map[string]Benchmark, []string, bool) {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return nil, nil, false
+		}
+		var b Baseline
+		if err := json.Unmarshal(blob, &b); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+			return nil, nil, false
+		}
+		m := make(map[string]Benchmark, len(b.Benchmarks))
+		var names []string
+		for _, bench := range b.Benchmarks {
+			if _, dup := m[bench.Name]; !dup {
+				names = append(names, bench.Name)
+			}
+			m[bench.Name] = bench
+		}
+		return m, names, true
+	}
+	oldB, _, ok := load(oldPath)
+	if !ok {
+		return 2
+	}
+	newB, newNames, ok := load(newPath)
+	if !ok {
+		return 2
+	}
+
+	failed := false
+	compared := 0
+	for _, name := range newNames {
+		nb := newB[name]
+		ob, shared := oldB[name]
+		if !shared {
+			fmt.Printf("%-50s new benchmark (%.0f ns/op), not compared\n", name, nb.NsPerOp)
+			continue
+		}
+		compared++
+		delta := 100 * (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+		verdict := "ok"
+		if delta > tolerance {
+			verdict = fmt.Sprintf("FAIL (> %+.0f%%)", tolerance)
+			failed = true
+		}
+		fmt.Printf("%-50s %12.0f -> %12.0f ns/op  %+7.1f%%  %s\n",
+			name, ob.NsPerOp, nb.NsPerOp, delta, verdict)
+		var units []string
+		for unit := range nb.Metrics {
+			if _, ok := ob.Metrics[unit]; ok {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			ov, nv := ob.Metrics[unit], nb.Metrics[unit]
+			if ov == 0 {
+				continue
+			}
+			fmt.Printf("  %-48s %12.4g -> %12.4g %s  %+7.1f%%\n",
+				"", ov, nv, unit, 100*(nv-ov)/ov)
+		}
+	}
+	for name := range oldB {
+		if _, ok := newB[name]; !ok {
+			fmt.Printf("%-50s missing from %s\n", name, newPath)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark appears in both files")
+		return 2
+	}
+	if failed {
+		fmt.Printf("\nFAIL: at least one benchmark regressed ns/op by more than %.0f%%\n", tolerance)
+		return 1
+	}
+	fmt.Printf("\nok: %d benchmarks within %.0f%% of %s\n", compared, tolerance, oldPath)
+	return 0
 }
 
 // parseLine parses one "BenchmarkName-8  5  87828868 ns/op  1138580

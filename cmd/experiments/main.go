@@ -12,6 +12,10 @@
 // seeds summary robustness. The robustness sweep only runs when asked
 // for explicitly (-faults or -only robustness), never under -all.
 //
+// Simulation results persist across runs in results/.cache by default
+// (-cache-dir); delete that directory or pass -cache-dir "" to force a
+// cold run. Artifacts are byte-identical either way.
+//
 // SIGINT/SIGTERM cancel in-flight simulations; artifacts already
 // produced are flushed before exit, and a partially completed matrix
 // still renders the rows whose cells finished.
@@ -47,9 +51,11 @@ func main() {
 		faultsSpec = flag.String("faults", "", `run the robustness artifact at these comma-separated fault intensities in [0,1] (e.g. "0,0.5,1"; "default" = 0,0.25,0.5,0.75,1)`)
 		timeout    = flag.Duration("timeout", 0, "per-simulation deadline (0 = none)")
 
-		useCache   = flag.Bool("cache", true, "memoize simulation results across artifacts (identical output, fewer simulations)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		useCache      = flag.Bool("cache", true, "memoize simulation results across artifacts (identical output, fewer simulations)")
+		cacheDir      = flag.String("cache-dir", "results/.cache", `persist simulation results here across runs ("" = in-memory only; ignored with -cache=false)`)
+		cacheMaxBytes = flag.Int64("cache-max-bytes", 0, "size cap for -cache-dir before LRU eviction (0 = 2 GiB default)")
+		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile    = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -57,6 +63,9 @@ func main() {
 	defer stop()
 
 	experiment.SetCaching(*useCache)
+	if !*useCache {
+		*cacheDir = ""
+	}
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -97,7 +106,10 @@ func main() {
 		}
 	}
 
-	opt := experiment.Options{Instructions: *insts, Seed: *seed, Timeout: *timeout, Context: ctx}
+	opt := experiment.Options{
+		Instructions: *insts, Seed: *seed, Timeout: *timeout, Context: ctx,
+		CacheDir: *cacheDir, CacheMaxBytes: *cacheMaxBytes,
+	}
 	emit := func(rep experiment.Report, err error) {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", rep.ID, err)
@@ -275,5 +287,13 @@ func main() {
 	if *useCache {
 		hits, misses := experiment.CacheStats()
 		fmt.Fprintf(os.Stderr, "experiments: %d simulations, %d served from cache\n", misses, hits)
+		if *cacheDir != "" {
+			st, derr := experiment.DiskCacheStats()
+			fmt.Fprintf(os.Stderr, "experiments: disk cache %s: %d hits, %d misses, %d writes\n",
+				*cacheDir, st.Hits, st.Misses, st.Writes)
+			if derr != nil {
+				fmt.Fprintln(os.Stderr, "experiments: disk cache degraded:", derr)
+			}
+		}
 	}
 }

@@ -40,6 +40,7 @@ func main() {
 
 		faultLvl = flag.Float64("faults", 0, "control-loop fault intensity in [0,1] (0 = no injection)")
 		timeout  = flag.Duration("timeout", 0, "simulation deadline (0 = none)")
+		cacheDir = flag.String("cache-dir", "", `persist simulation results here across runs ("" = off)`)
 
 		split     = flag.Bool("split", false, "use the 5-domain (split front end) partition")
 		prefetch  = flag.Bool("prefetch", false, "enable the next-line L1D prefetcher")
@@ -88,7 +89,7 @@ func main() {
 		machine.Transitions = dvfs.TransmetaTransitions()
 	}
 	machine.Faults = faults.Intensity(*faultLvl, *seed)
-	opt := experiment.Options{Instructions: *insts, Seed: *seed, Machine: &machine, Timeout: *timeout}
+	opt := experiment.Options{Instructions: *insts, Seed: *seed, Machine: &machine, Timeout: *timeout, CacheDir: *cacheDir}
 	res, err := experiment.RunOneContext(ctx, *bench, experiment.Scheme(*scheme), opt)
 	if err != nil {
 		exitErr(err)

@@ -1,0 +1,325 @@
+// Package diskcache is a content-addressed on-disk result store: the
+// persistence layer under the experiment harness's in-process result
+// cache. Entries are keyed by the caller's content hash (for the
+// harness, the SHA-256 of everything that determines a simulation), so
+// a stored value never goes stale — a different input is a different
+// key — and the only invalidation ever needed is a FormatVersion bump
+// when the encoding itself changes.
+//
+// Durability model, in order of the failure modes that matter:
+//
+//   - Concurrent writers (the harness worker pool, or two processes
+//     sharing one directory): every write goes to a unique temp file in
+//     the store directory and is published with an atomic rename, so
+//     readers only ever observe complete entries and the last writer
+//     of a key wins with an identical payload.
+//   - Corruption (torn writes on crash, bit rot, truncation): every
+//     entry carries a SHA-256 checksum of its payload; Get verifies it
+//     and reports ErrCorrupt, deleting the bad file so the slot heals
+//     on the next Put. The caller's contract is "any Get error means
+//     re-compute", never "trust a damaged entry".
+//   - Unbounded growth: the store is size-capped; GC evicts entries in
+//     LRU order, approximated by file modification time (Get touches
+//     entries it serves). Eviction is never an error — an evicted
+//     entry is just a future cache miss.
+//
+// Values are encoded with encoding/gob: binary-exact for float64 (the
+// harness's dominant payload is occupancy sample series) and several
+// times faster than JSON at the megabyte sizes simulation results
+// reach.
+package diskcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// FormatVersion is the on-disk encoding version. Bump it whenever the
+// entry header or payload encoding changes shape: every entry written
+// by an older version then misses with ErrVersionMismatch and is
+// lazily rewritten, instead of being misdecoded.
+const FormatVersion = 1
+
+// Store error taxonomy. Callers dispatch with errors.Is; every Get
+// failure wraps exactly one of these.
+var (
+	// ErrMiss reports that no entry exists for the key.
+	ErrMiss = errors.New("diskcache: miss")
+	// ErrCorrupt reports an entry that failed its checksum, header, or
+	// payload decode. Get removes the damaged file before returning it.
+	ErrCorrupt = errors.New("diskcache: entry corrupt")
+	// ErrVersionMismatch reports an entry written under a different
+	// FormatVersion. Get removes the stale file before returning it.
+	ErrVersionMismatch = errors.New("diskcache: format version mismatch")
+)
+
+// entry layout: magic(4) | version(u32 LE) | payload sha256(32) |
+// payload length(u64 LE) | gob payload.
+const (
+	entryMagic  = "MCDR"
+	headerSize  = 4 + 4 + sha256.Size + 8
+	entrySuffix = ".res"
+	tmpPattern  = ".tmp-*"
+)
+
+// DefaultMaxBytes caps a store at 2 GiB unless the caller chooses
+// otherwise — roomy enough for several full experiment matrices at
+// default scale, small enough to stay unremarkable in a results tree.
+const DefaultMaxBytes = 2 << 30
+
+// gcEvery is how many Puts pass between size checks; a directory scan
+// per write would turn the cache into an O(n²) proposition.
+const gcEvery = 64
+
+// Stats counts store traffic since Open.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Writes    uint64
+	Corrupt   uint64 // checksum/decode failures (self-healed)
+	Stale     uint64 // version mismatches (self-healed)
+	Evictions uint64
+}
+
+// Store is one cache directory. It is safe for concurrent use by
+// multiple goroutines, and safe (atomic, last-writer-wins) across
+// processes sharing the directory.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu       sync.Mutex // guards stats and the GC cadence counter
+	stats    Stats
+	sincePut int
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+// maxBytes caps the directory's total entry size; 0 selects
+// DefaultMaxBytes. An initial GC pass bounds a directory inherited
+// from earlier runs.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("diskcache: empty directory")
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskcache: creating %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, maxBytes: maxBytes}
+	if _, err := s.GC(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Store) path(key [sha256.Size]byte) string {
+	return filepath.Join(s.dir, hex.EncodeToString(key[:])+entrySuffix)
+}
+
+func (s *Store) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// Get decodes the entry for key into v (a pointer, as for
+// gob.Decoder.Decode). A missing entry returns ErrMiss; a damaged or
+// stale one is deleted and returns ErrCorrupt or ErrVersionMismatch.
+// On success the entry's mtime is refreshed so LRU eviction sees the
+// use.
+func (s *Store) Get(key [sha256.Size]byte, v any) error {
+	path := s.path(key)
+	blob, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		s.count(func(st *Stats) { st.Misses++ })
+		return fmt.Errorf("%w: %s", ErrMiss, hex.EncodeToString(key[:8]))
+	}
+	if err != nil {
+		s.count(func(st *Stats) { st.Misses++ })
+		return fmt.Errorf("%w: reading %s: %v", ErrCorrupt, path, err)
+	}
+	payload, err := decodeEntry(blob)
+	if err != nil {
+		os.Remove(path) //nolint:errcheck // best-effort self-heal
+		if errors.Is(err, ErrVersionMismatch) {
+			s.count(func(st *Stats) { st.Stale++; st.Misses++ })
+		} else {
+			s.count(func(st *Stats) { st.Corrupt++; st.Misses++ })
+		}
+		return err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		os.Remove(path) //nolint:errcheck // best-effort self-heal
+		s.count(func(st *Stats) { st.Corrupt++; st.Misses++ })
+		return fmt.Errorf("%w: decoding %s: %v", ErrCorrupt, path, err)
+	}
+	now := time.Now()
+	os.Chtimes(path, now, now) //nolint:errcheck // LRU hint only
+	s.count(func(st *Stats) { st.Hits++ })
+	return nil
+}
+
+// decodeEntry validates the header and checksum and returns the
+// payload bytes.
+func decodeEntry(blob []byte) ([]byte, error) {
+	if len(blob) < headerSize {
+		return nil, fmt.Errorf("%w: %d-byte entry shorter than header", ErrCorrupt, len(blob))
+	}
+	if string(blob[:4]) != entryMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, blob[:4])
+	}
+	if v := binary.LittleEndian.Uint32(blob[4:8]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: entry v%d, store v%d", ErrVersionMismatch, v, FormatVersion)
+	}
+	var sum [sha256.Size]byte
+	copy(sum[:], blob[8:8+sha256.Size])
+	n := binary.LittleEndian.Uint64(blob[8+sha256.Size : headerSize])
+	payload := blob[headerSize:]
+	if uint64(len(payload)) != n {
+		return nil, fmt.Errorf("%w: payload %d bytes, header says %d", ErrCorrupt, len(payload), n)
+	}
+	if sha256.Sum256(payload) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// Put encodes v and atomically publishes it as the entry for key:
+// the payload goes to a unique temp file in the store directory and is
+// renamed into place, so a concurrent Get sees either the old complete
+// entry or the new complete entry, never a torn one.
+func (s *Store) Put(key [sha256.Size]byte, v any) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return fmt.Errorf("diskcache: encoding entry: %w", err)
+	}
+	var header [headerSize]byte
+	copy(header[:4], entryMagic)
+	binary.LittleEndian.PutUint32(header[4:8], FormatVersion)
+	sum := sha256.Sum256(payload.Bytes())
+	copy(header[8:8+sha256.Size], sum[:])
+	binary.LittleEndian.PutUint64(header[8+sha256.Size:], uint64(payload.Len()))
+
+	tmp, err := os.CreateTemp(s.dir, tmpPattern)
+	if err != nil {
+		return fmt.Errorf("diskcache: temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) //nolint:errcheck // no-op after successful rename
+	if _, err := tmp.Write(header[:]); err == nil {
+		_, err = tmp.Write(payload.Bytes())
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("diskcache: writing entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		return fmt.Errorf("diskcache: publishing entry: %w", err)
+	}
+
+	s.mu.Lock()
+	s.stats.Writes++
+	s.sincePut++
+	runGC := s.sincePut >= gcEvery
+	if runGC {
+		s.sincePut = 0
+	}
+	s.mu.Unlock()
+	if runGC {
+		// Concurrent GC passes are safe (removals tolerate ENOENT);
+		// the cadence counter just keeps them rare.
+		if _, err := s.GC(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GC enforces the size cap, removing the least-recently-used entries
+// (oldest mtime first) until the directory's entry total fits. It also
+// sweeps abandoned temp files. Returns how many entries it evicted.
+func (s *Store) GC() (evicted int, err error) {
+	dents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("diskcache: scanning %s: %w", s.dir, err)
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var (
+		entries []entry
+		total   int64
+	)
+	for _, de := range dents {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		info, ierr := de.Info()
+		if ierr != nil {
+			continue // deleted underneath us: nothing to account
+		}
+		if matched, _ := filepath.Match(tmpPattern, name); matched {
+			// A live writer's temp file is seconds old; anything older
+			// was abandoned by a crashed process.
+			if time.Since(info.ModTime()) > time.Hour {
+				os.Remove(filepath.Join(s.dir, name)) //nolint:errcheck // best-effort sweep
+			}
+			continue
+		}
+		if filepath.Ext(name) != entrySuffix {
+			continue
+		}
+		entries = append(entries, entry{filepath.Join(s.dir, name), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	if total <= s.maxBytes {
+		return 0, nil
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].path < entries[j].path // stable tie-break
+	})
+	for _, e := range entries {
+		if total <= s.maxBytes {
+			break
+		}
+		if rmErr := os.Remove(e.path); rmErr != nil && !errors.Is(rmErr, fs.ErrNotExist) {
+			continue // another process beat us or the file is busy; skip
+		}
+		total -= e.size
+		evicted++
+	}
+	if evicted > 0 {
+		s.count(func(st *Stats) { st.Evictions += uint64(evicted) })
+	}
+	return evicted, nil
+}

@@ -1,25 +1,38 @@
 package experiment
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"sync"
 
 	"mcddvfs/internal/control"
+	"mcddvfs/internal/diskcache"
 	"mcddvfs/internal/isa"
 	"mcddvfs/internal/mcd"
 	"mcddvfs/internal/trace"
 )
 
-// The result cache memoizes RunProfile outcomes within a process,
-// keyed by a content hash of everything that determines a simulation:
-// the workload profile, the scheme, and the canonicalized options
-// (instruction budget, seed, machine configuration, PID interval, and
-// the *effect* of MutateAdaptive). The harness regenerates Tables 2-4,
-// Figures 7-11 and the E1-E5 extensions from overlapping (benchmark,
-// scheme, options) triples; with the cache each distinct triple is
-// simulated exactly once per process.
+// The result cache memoizes RunProfile outcomes, keyed by a content
+// hash of everything that determines a simulation: the workload
+// profile, the scheme, and the canonicalized options (instruction
+// budget, seed, machine configuration — including the fault spec —
+// PID interval, and the *effect* of MutateAdaptive). The harness
+// regenerates Tables 2-4, Figures 7-11 and the E1-E5 extensions from
+// overlapping (benchmark, scheme, options) triples; with the cache
+// each distinct triple is simulated exactly once per process.
+//
+// Caching is two-level. The first level is this in-process map;
+// entries use a done-channel so concurrent requests for the same key
+// run one simulation and share the result (single-flight). The second,
+// optional level is a persistent content-addressed store on disk
+// (internal/diskcache, enabled by Options.CacheDir): an in-process
+// miss consults the store before simulating, and a successful
+// simulation is written back, so completed cells survive process death
+// and a warm re-render only decodes. Only clean results ever reach
+// disk — errors, and in particular transient CellErrors (timeout,
+// cancellation), are never persisted.
 //
 // Cached *mcd.Result values are shared between callers and MUST be
 // treated as read-only. The one historical mutation site — RunMatrix
@@ -27,9 +40,7 @@ import (
 // struct first.
 //
 // A simulation is deterministic, so caching never changes any value a
-// caller observes; it only removes duplicate work. Entries use a
-// done-channel so concurrent requests for the same key run one
-// simulation and share the result (single-flight).
+// caller observes; it only removes duplicate work.
 var resultCache = struct {
 	mu      sync.Mutex
 	enabled bool
@@ -44,17 +55,19 @@ type cacheEntry struct {
 	err  error
 }
 
-// SetCaching enables or disables in-process result memoization. It is
-// enabled by default; disabling is useful for A/B-validating that the
-// cache is transparent (artifacts must be byte-identical either way).
+// SetCaching enables or disables result memoization (both the
+// in-process level and the disk level). It is enabled by default;
+// disabling is useful for A/B-validating that the cache is transparent
+// (artifacts must be byte-identical either way).
 func SetCaching(on bool) {
 	resultCache.mu.Lock()
 	defer resultCache.mu.Unlock()
 	resultCache.enabled = on
 }
 
-// ResetCache drops every memoized result and zeroes the hit/miss
-// counters.
+// ResetCache drops every memoized in-process result and zeroes the
+// hit/miss counters. On-disk entries are untouched (delete the cache
+// directory to force a cold run).
 func ResetCache() {
 	resultCache.mu.Lock()
 	defer resultCache.mu.Unlock()
@@ -64,19 +77,76 @@ func ResetCache() {
 }
 
 // CacheStats reports how many RunProfile calls were served from memory
-// versus simulated.
+// versus not (disk hits count as misses here; see DiskCacheStats).
 func CacheStats() (hits, misses uint64) {
 	resultCache.mu.Lock()
 	defer resultCache.mu.Unlock()
 	return resultCache.hits, resultCache.misses
 }
 
+// diskStores holds one open store per cache directory, created
+// lazily. A store that fails to open is recorded as nil so a
+// misconfigured directory degrades to uncached operation once instead
+// of erroring every run.
+var diskStores = struct {
+	mu      sync.Mutex
+	stores  map[string]*diskcache.Store
+	openErr error
+}{stores: make(map[string]*diskcache.Store)}
+
+// diskStore returns the store for opt.CacheDir, opening it on first
+// use, or nil when disk caching is off (empty CacheDir) or the
+// directory is unusable.
+func diskStore(opt Options) *diskcache.Store {
+	if opt.CacheDir == "" {
+		return nil
+	}
+	diskStores.mu.Lock()
+	defer diskStores.mu.Unlock()
+	if s, ok := diskStores.stores[opt.CacheDir]; ok {
+		return s
+	}
+	s, err := diskcache.Open(opt.CacheDir, opt.CacheMaxBytes)
+	if err != nil {
+		s = nil
+		diskStores.openErr = err
+	}
+	diskStores.stores[opt.CacheDir] = s
+	return s
+}
+
+// DiskCacheStats aggregates traffic over every store this process
+// opened, plus the first open error (nil when every directory was
+// usable). A non-nil error means runs fell back to simulation.
+func DiskCacheStats() (diskcache.Stats, error) {
+	diskStores.mu.Lock()
+	defer diskStores.mu.Unlock()
+	var total diskcache.Stats
+	for _, s := range diskStores.stores {
+		if s == nil {
+			continue
+		}
+		st := s.Stats()
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Writes += st.Writes
+		total.Corrupt += st.Corrupt
+		total.Stale += st.Stale
+		total.Evictions += st.Evictions
+	}
+	return total, diskStores.openErr
+}
+
 // cacheKey hashes the complete simulation input. Options.Benchmarks is
 // deliberately excluded: it selects which runs happen, not what any
-// individual run computes. MutateAdaptive is a function and cannot be
-// hashed directly; it is canonicalized by its observable effect — the
-// controller configuration it produces from each domain's default.
-// opt must already have defaults applied.
+// individual run computes. CacheDir/CacheMaxBytes are excluded for the
+// same reason — they say where results are stored, not what they are.
+// MutateAdaptive is a function and cannot be hashed directly; it is
+// canonicalized by its observable effect — the controller
+// configuration it produces from each domain's default. The Format
+// field versions the key itself: bumping diskcache.FormatVersion
+// retires every existing on-disk entry at once. opt must already have
+// defaults applied.
 func cacheKey(prof trace.Profile, scheme Scheme, opt Options) ([sha256.Size]byte, error) {
 	mutated := make([]control.Config, isa.NumExecDomains)
 	for d := 0; d < isa.NumExecDomains; d++ {
@@ -87,6 +157,7 @@ func cacheKey(prof trace.Profile, scheme Scheme, opt Options) ([sha256.Size]byte
 		mutated[d] = cfg
 	}
 	key := struct {
+		Format           int
 		Profile          trace.Profile
 		Scheme           Scheme
 		Instructions     int64
@@ -95,6 +166,7 @@ func cacheKey(prof trace.Profile, scheme Scheme, opt Options) ([sha256.Size]byte
 		Machine          mcd.Config
 		Adaptive         []control.Config
 	}{
+		Format:           diskcache.FormatVersion,
 		Profile:          prof,
 		Scheme:           scheme,
 		Instructions:     opt.Instructions,
@@ -113,7 +185,9 @@ func cacheKey(prof trace.Profile, scheme Scheme, opt Options) ([sha256.Size]byte
 // cachedRun returns the memoized result for (prof, scheme, opt) or
 // simulates it via run. Exactly one caller simulates a given key; any
 // concurrent callers block on its completion and share the outcome.
-func cachedRun(prof trace.Profile, scheme Scheme, opt Options, run func() (*mcd.Result, error)) (*mcd.Result, error) {
+// ctx gates only this attempt's disk probe — a cancelled context
+// falls straight through to run, whose own machinery honors it.
+func cachedRun(ctx context.Context, prof trace.Profile, scheme Scheme, opt Options, run func() (*mcd.Result, error)) (*mcd.Result, error) {
 	resultCache.mu.Lock()
 	if !resultCache.enabled {
 		resultCache.mu.Unlock()
@@ -135,11 +209,26 @@ func cachedRun(prof trace.Profile, scheme Scheme, opt Options, run func() (*mcd.
 	resultCache.misses++
 	resultCache.mu.Unlock()
 
+	store := diskStore(opt)
 	func() {
 		// Close even if run panics so waiters are not stranded; the
 		// panic still propagates to this (first) caller.
 		defer close(e.done)
+		if store != nil && ctx.Err() == nil {
+			var res mcd.Result
+			if derr := store.Get(k, &res); derr == nil {
+				e.res = &res
+				return
+			}
+			// Any disk failure — miss, corruption, version mismatch —
+			// falls back to simulation; Get already healed bad entries.
+		}
 		e.res, e.err = run()
+		if e.err == nil && store != nil {
+			// Persist only clean results. A write failure costs the
+			// persistence of this one cell, not the run.
+			store.Put(k, e.res) //nolint:errcheck // cache write is best-effort
+		}
 	}()
 	if e.err != nil && transientErr(e.err) {
 		// A timeout or cancellation says nothing about the simulation

@@ -75,6 +75,17 @@ type Options struct {
 	// (the report and sweep generators). Explicit ...Context variants
 	// take precedence.
 	Context context.Context
+	// CacheDir, when non-empty, enables the persistent on-disk result
+	// cache rooted at that directory (cmd/experiments defaults it to
+	// results/.cache): completed simulations survive process death and
+	// a warm rerun only decodes them. Empty — the zero-config default —
+	// keeps memoization in-process only, so plain Run behavior is
+	// unchanged.
+	CacheDir string
+	// CacheMaxBytes caps the on-disk cache's total size; the
+	// least-recently-used entries are evicted past it (0 = the
+	// diskcache default).
+	CacheMaxBytes int64
 }
 
 // ctx returns the options' cancellation context.
@@ -146,12 +157,21 @@ func RunProfile(prof trace.Profile, scheme Scheme, opt Options) (*mcd.Result, er
 // returns ErrRunTimeout; cancellation returns ErrCancelled; a panic in
 // the simulator is recovered into ErrRunPanicked.
 func RunProfileContext(ctx context.Context, prof trace.Profile, scheme Scheme, opt Options) (*mcd.Result, error) {
+	return runCell(ctx, prof, scheme, opt, nil)
+}
+
+// runCell is the shared run path. srcFn, when non-nil, supplies the
+// workload instruction stream instead of a fresh Generator — the hook
+// RunMatrix uses to fan one recorded trace out across schemes. The
+// provider is only invoked if the cell actually simulates; cache hits
+// (in-process or disk) never touch it.
+func runCell(ctx context.Context, prof trace.Profile, scheme Scheme, opt Options, srcFn func() (trace.Source, error)) (*mcd.Result, error) {
 	opt = opt.withDefaults()
 	if err := validateRun(prof, scheme, opt); err != nil {
 		return nil, err
 	}
-	return cachedRun(prof, scheme, opt, func() (*mcd.Result, error) {
-		return runProfile(ctx, prof, scheme, opt)
+	return cachedRun(ctx, prof, scheme, opt, func() (*mcd.Result, error) {
+		return runProfile(ctx, prof, scheme, opt, srcFn)
 	})
 }
 
@@ -175,11 +195,17 @@ func validateRun(prof trace.Profile, scheme Scheme, opt Options) error {
 	return nil
 }
 
+// traceSeedOffset decouples the workload stream's RNG from the clock
+// jitter seeds derived from the same user-facing seed.
+const traceSeedOffset = 11
+
 // runProfile is the uncached simulation. opt must already have
-// defaults applied and been validated. A panic anywhere below —
-// trace generation, construction, the simulator hot loop — is
-// recovered into ErrRunPanicked so one bad run cannot kill a sweep.
-func runProfile(ctx context.Context, prof trace.Profile, scheme Scheme, opt Options) (res *mcd.Result, err error) {
+// defaults applied and been validated. srcFn, when non-nil, supplies
+// the instruction stream (a shared-trace replay cursor); nil generates
+// it fresh. A panic anywhere below — trace generation, construction,
+// the simulator hot loop — is recovered into ErrRunPanicked so one
+// bad run cannot kill a sweep.
+func runProfile(ctx context.Context, prof trace.Profile, scheme Scheme, opt Options, srcFn func() (trace.Source, error)) (res *mcd.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("%s/%s: %w: %v", prof.Name, scheme, ErrRunPanicked, r)
@@ -191,9 +217,17 @@ func runProfile(ctx context.Context, prof trace.Profile, scheme Scheme, opt Opti
 		defer cancel()
 	}
 	cfg := opt.machine()
-	gen, err := trace.NewGenerator(prof, opt.Seed+11, opt.Instructions)
+	var gen trace.Source
+	if srcFn != nil {
+		gen, err = srcFn()
+	} else {
+		gen, err = trace.NewGenerator(prof, opt.Seed+traceSeedOffset, opt.Instructions)
+		if err != nil {
+			err = invalidSpec(err)
+		}
+	}
 	if err != nil {
-		return nil, invalidSpec(err)
+		return nil, err
 	}
 	p, err := mcd.New(cfg)
 	if err != nil {
@@ -319,10 +353,35 @@ func RunMatrixContext(ctx context.Context, opt Options) (*Matrix, error) {
 		}
 	}
 
+	// With trace sharing on, the benchmark × scheme grid records each
+	// benchmark's instruction stream once and replays it into every
+	// scheme's cell; see tracebank.go. Off (or for callers outside the
+	// matrix) every cell generates its own stream as before.
+	var bank *traceBank
+	if traceSharingEnabled() {
+		bank = newTraceBank(opt, len(schemes))
+	}
+
 	var mu sync.Mutex
 	errs := forEachParallel(ctx, len(cells), func(i int) error {
 		c := cells[i]
-		res, err := RunOneContext(ctx, c.bench, c.scheme, opt)
+		var res *mcd.Result
+		var err error
+		if bank != nil {
+			// Every cell releases its claim exactly once, even on error
+			// or a cache hit, so recordings free as benchmarks drain.
+			defer bank.release(c.bench)
+			var prof trace.Profile
+			prof, err = trace.ByName(c.bench)
+			if err != nil {
+				return invalidSpec(err)
+			}
+			res, err = runCell(ctx, prof, c.scheme, opt, func() (trace.Source, error) {
+				return bank.source(prof)
+			})
+		} else {
+			res, err = RunOneContext(ctx, c.bench, c.scheme, opt)
+		}
 		if err != nil {
 			return err
 		}

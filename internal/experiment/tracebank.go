@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"sync"
+
+	"mcddvfs/internal/trace"
+)
+
+// The workload stream a matrix cell simulates depends only on
+// (profile, seed, instructions) — never on the DVFS scheme or fault
+// spec layered on top — so the benchmark × scheme grid regenerates the
+// identical trace once per benchmark instead of once per cell. A
+// traceBank owns that sharing for one matrix run: the first cell to
+// actually need a benchmark's stream records it (trace.Recorded,
+// single-flight), every other cell replays the same immutable buffers
+// through its own zero-alloc cursor, and a per-benchmark countdown of
+// outstanding cells releases the recording as soon as its last cell
+// finishes, bounding resident traces to the benchmarks in flight.
+//
+// Recording is lazy so a fully cache-served matrix (in-process or
+// disk) records nothing at all.
+type traceBank struct {
+	seed  int64
+	insts int64
+
+	mu      sync.Mutex
+	entries map[string]*bankEntry
+}
+
+type bankEntry struct {
+	remaining int // cells (users or not) yet to call release
+	recording bool
+	done      chan struct{} // closed when rec/err are set
+	rec       *trace.Recorded
+	err       error
+}
+
+// traceSharing gates the bank globally, mirroring SetCaching: sharing
+// is semantics-free (a replayed stream is bit-identical to a generated
+// one), so the toggle exists for A/B benchmarks and for validating
+// that transparency.
+var traceSharing = struct {
+	mu sync.Mutex
+	on bool
+}{on: true}
+
+// SetTraceSharing enables or disables shared-trace replay in
+// RunMatrix. It is enabled by default; disabling makes every cell
+// regenerate its workload stream from the profile (the pre-sharing
+// behavior), which must produce byte-identical artifacts.
+func SetTraceSharing(on bool) {
+	traceSharing.mu.Lock()
+	defer traceSharing.mu.Unlock()
+	traceSharing.on = on
+}
+
+// traceSharingEnabled reports the toggle.
+func traceSharingEnabled() bool {
+	traceSharing.mu.Lock()
+	defer traceSharing.mu.Unlock()
+	return traceSharing.on
+}
+
+// newTraceBank prepares a bank for one matrix sweep: every benchmark
+// starts with cellsPerBench outstanding release calls. opt must have
+// defaults applied.
+func newTraceBank(opt Options, cellsPerBench int) *traceBank {
+	b := &traceBank{
+		seed:    opt.Seed + traceSeedOffset,
+		insts:   opt.Instructions,
+		entries: make(map[string]*bankEntry, len(opt.Benchmarks)),
+	}
+	for _, bench := range opt.Benchmarks {
+		b.entries[bench] = &bankEntry{remaining: cellsPerBench}
+	}
+	return b
+}
+
+// source returns a fresh replay cursor over the benchmark's shared
+// recording, recording it first if this is the earliest cell to need
+// it. Concurrent callers for one benchmark run a single recording and
+// share the outcome.
+func (b *traceBank) source(prof trace.Profile) (trace.Source, error) {
+	b.mu.Lock()
+	e := b.entries[prof.Name]
+	if e == nil {
+		// A cell the bank was not sized for (defensive; RunMatrix only
+		// asks for benchmarks it registered). Fall back to a private
+		// recording with no sharing.
+		b.mu.Unlock()
+		rec, err := trace.RecordProfile(prof, b.seed, b.insts)
+		if err != nil {
+			return nil, invalidSpec(err)
+		}
+		return rec.Replay(), nil
+	}
+	if e.done != nil {
+		done := e.done
+		b.mu.Unlock()
+		<-done
+	} else {
+		e.done = make(chan struct{})
+		b.mu.Unlock()
+		e.rec, e.err = trace.RecordProfile(prof, b.seed, b.insts)
+		close(e.done)
+	}
+	if e.err != nil {
+		return nil, invalidSpec(e.err)
+	}
+	return e.rec.Replay(), nil
+}
+
+// release retires one cell's claim on a benchmark's recording; the
+// recording is dropped when the last claim retires. Every matrix cell
+// releases exactly once, whether or not it consumed the trace (a
+// result-cache hit never touches it).
+func (b *traceBank) release(bench string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[bench]
+	if e == nil {
+		return
+	}
+	e.remaining--
+	if e.remaining <= 0 {
+		// Last cell done: free the columnar buffers now instead of at
+		// end of sweep, so peak memory tracks benchmarks in flight.
+		e.rec = nil
+		delete(b.entries, bench)
+	}
+}
