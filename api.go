@@ -37,6 +37,7 @@ import (
 	"mcddvfs/internal/isa"
 	"mcddvfs/internal/mcd"
 	"mcddvfs/internal/power"
+	"mcddvfs/internal/scheme"
 	"mcddvfs/internal/spectrum"
 	"mcddvfs/internal/stability"
 	"mcddvfs/internal/trace"
@@ -135,13 +136,50 @@ const (
 	ClassNop     = isa.Nop
 )
 
-// The evaluated schemes.
+// Named constants for the paper's evaluated schemes. Any name listed
+// by Schemes() is equally valid wherever a Scheme is accepted — the
+// constants are a convenience, not the full set.
 const (
 	SchemeNone        = experiment.SchemeNone
 	SchemeAdaptive    = experiment.SchemeAdaptive
 	SchemePID         = experiment.SchemePID
 	SchemeAttackDecay = experiment.SchemeAttackDecay
 )
+
+// SchemeInfo describes one registered DVFS control scheme.
+type SchemeInfo struct {
+	// Name is the stable identifier accepted wherever a Scheme is
+	// (RunSpec.Scheme, Options.Schemes, the CLIs' -scheme/-schemes).
+	Name Scheme
+	// Controlled reports whether the scheme scales domain frequencies;
+	// the no-DVFS baseline is the one registered scheme that does not.
+	Controlled bool
+	// Extension marks schemes beyond the paper's core comparison; they
+	// run only when requested and never join default sweeps.
+	Extension bool
+	// Description is a one-line human-readable summary.
+	Description string
+}
+
+// Schemes lists every registered DVFS control scheme in display
+// order: the paper's comparison first (none, adaptive, pid,
+// attack-decay), then extensions. The scheme registry
+// (internal/scheme) is the single source of truth; plugging a new
+// scheme in there makes it appear here and everywhere else with no
+// further wiring.
+func Schemes() []SchemeInfo {
+	ds := scheme.All()
+	out := make([]SchemeInfo, len(ds))
+	for i, d := range ds {
+		out[i] = SchemeInfo{
+			Name:        Scheme(d.Name),
+			Controlled:  d.Controlled,
+			Extension:   d.Extension,
+			Description: d.Description,
+		}
+	}
+	return out
+}
 
 // The controlled execution domains.
 const (

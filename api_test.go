@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -180,10 +181,15 @@ func TestRunTraceErrors(t *testing.T) {
 	if _, err := RunTrace(gen, RunSpec{Machine: &bad}); err == nil {
 		t.Error("invalid machine accepted")
 	}
-	// Unknown scheme propagates.
+	// Unknown scheme propagates out of AttachScheme as ErrInvalidSpec,
+	// listing what the registry knows.
 	gen2, _ := NewTraceGenerator(prof, 1, 100)
-	if _, err := RunTrace(gen2, RunSpec{Scheme: Scheme("bogus")}); err == nil {
-		t.Error("unknown scheme accepted")
+	_, err := RunTrace(gen2, RunSpec{Scheme: Scheme("bogus")})
+	if !errors.Is(err, ErrInvalidSpec) {
+		t.Errorf("unknown scheme: got %v, want ErrInvalidSpec", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "registered:") {
+		t.Errorf("unknown-scheme error does not list registered schemes: %v", err)
 	}
 }
 
@@ -231,6 +237,96 @@ func TestRunContextCancellation(t *testing.T) {
 	_, err := RunContext(ctx, RunSpec{Benchmark: "gzip", Instructions: 20000})
 	if !errors.Is(err, ErrCancelled) {
 		t.Fatalf("got %v, want ErrCancelled", err)
+	}
+}
+
+// TestSchemesExport pins the registry listing the public API exposes:
+// the paper's schemes in display order, correctly flagged, with a
+// description — and every listed name actually runnable.
+func TestSchemesExport(t *testing.T) {
+	ds := Schemes()
+	if len(ds) < 6 {
+		t.Fatalf("Schemes() lists %d schemes, want at least 6", len(ds))
+	}
+	var names []string
+	for _, d := range ds {
+		names = append(names, string(d.Name))
+		if d.Description == "" {
+			t.Errorf("scheme %q has no description", d.Name)
+		}
+	}
+	want := []string{"none", "adaptive", "pid", "attack-decay", "global", "pid-adaptive"}
+	for i, w := range want {
+		if names[i] != w {
+			t.Fatalf("Schemes() order = %v, want prefix %v", names, want)
+		}
+	}
+	if ds[0].Controlled {
+		t.Error("the no-DVFS baseline claims to control frequency")
+	}
+	if ds[0].Extension || ds[1].Extension {
+		t.Error("core schemes flagged as extensions")
+	}
+	if !ds[4].Extension || !ds[5].Extension {
+		t.Error("global/pid-adaptive not flagged as extensions")
+	}
+}
+
+// TestSchemesAllRunnable runs one tiny simulation under every scheme
+// Schemes() advertises — including extensions registered after this
+// test was written — so the listing can never drift from what Run
+// accepts.
+func TestSchemesAllRunnable(t *testing.T) {
+	for _, d := range Schemes() {
+		res, err := Run(RunSpec{Benchmark: "gzip", Scheme: d.Name, Instructions: 15000, Seed: 6})
+		if err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+			continue
+		}
+		if res.Scheme != string(d.Name) {
+			t.Errorf("result labeled %q, want %q", res.Scheme, d.Name)
+		}
+	}
+}
+
+// TestMatrixSchemeSubset drives Options.Schemes through the public
+// matrix entry point: the requested subset (plus the implicit
+// baseline) is exactly what runs, and an unregistered name fails as
+// ErrInvalidSpec naming the registered schemes.
+func TestMatrixSchemeSubset(t *testing.T) {
+	m, err := NewMatrix(Options{
+		Instructions: 15000, Seed: 6,
+		Benchmarks: []string{"gzip"},
+		Schemes:    []Scheme{"pid-adaptive", SchemeAdaptive},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Results["gzip"]) != 3 {
+		t.Errorf("subset matrix has %d cells, want 3 (baseline + 2)", len(m.Results["gzip"]))
+	}
+	if m.Results["gzip"][SchemeNone] == nil || m.Results["gzip"][SchemeAdaptive] == nil ||
+		m.Results["gzip"][Scheme("pid-adaptive")] == nil {
+		t.Errorf("subset matrix missing cells: %v", m.Results["gzip"])
+	}
+	// Registry order, not request order: adaptive renders before the
+	// pid-adaptive extension.
+	fig := m.Figure9()
+	if len(fig.Lines) == 0 || !strings.Contains(fig.Lines[0], "adaptive") ||
+		!strings.Contains(fig.Lines[0], "pid-adaptive") {
+		t.Errorf("subset figure header missing schemes: %q", fig.Lines)
+	}
+
+	_, err = NewMatrix(Options{
+		Instructions: 15000, Seed: 6,
+		Benchmarks: []string{"gzip"},
+		Schemes:    []Scheme{"warp-speed"},
+	})
+	if !errors.Is(err, ErrInvalidSpec) {
+		t.Fatalf("unknown scheme subset: got %v, want ErrInvalidSpec", err)
+	}
+	if !strings.Contains(err.Error(), "registered") {
+		t.Errorf("error does not list registered schemes: %v", err)
 	}
 }
 

@@ -6,6 +6,7 @@
 //	experiments -only table1,fig7   # selected artifacts
 //	experiments -all -out results/  # also write one .txt per artifact
 //	experiments -faults 0,0.5,1     # robustness sweep: EDP vs fault intensity
+//	experiments -only fig9 -schemes adaptive,pid-adaptive  # subset / extension columns
 //
 // Artifact IDs: table1 table2 fig7 fig8 fig9 fig10 fig11 table3 table4
 // remarks ablation transitions global qref interfaces partitions delays
@@ -34,9 +35,22 @@ import (
 	"strings"
 	"syscall"
 
+	"mcddvfs"
 	"mcddvfs/internal/experiment"
 	"mcddvfs/internal/profiling"
 )
+
+// controlledSchemeNames lists the default sweep columns for -h, read
+// from the scheme registry so new plugins surface with no CLI edits.
+func controlledSchemeNames() []string {
+	var names []string
+	for _, d := range mcddvfs.Schemes() {
+		if d.Controlled && !d.Extension {
+			names = append(names, string(d.Name))
+		}
+	}
+	return names
+}
 
 func main() {
 	var (
@@ -49,7 +63,9 @@ func main() {
 		asSVG  = flag.Bool("svg", false, "with -out, also render figures 7-11 as .svg files")
 
 		faultsSpec = flag.String("faults", "", `run the robustness artifact at these comma-separated fault intensities in [0,1] (e.g. "0,0.5,1"; "default" = 0,0.25,0.5,0.75,1)`)
-		timeout    = flag.Duration("timeout", 0, "per-simulation deadline (0 = none)")
+		schemesCSV = flag.String("schemes", "",
+			`restrict the benchmark × scheme sweeps to this comma-separated subset of registered schemes (e.g. "adaptive,pid-adaptive"; "" = the paper's core comparison: `+strings.Join(controlledSchemeNames(), ", ")+`)`)
+		timeout = flag.Duration("timeout", 0, "per-simulation deadline (0 = none)")
 
 		useCache      = flag.Bool("cache", true, "memoize simulation results across artifacts (identical output, fewer simulations)")
 		cacheDir      = flag.String("cache-dir", "results/.cache", `persist simulation results here across runs ("" = in-memory only; ignored with -cache=false)`)
@@ -109,6 +125,11 @@ func main() {
 	opt := experiment.Options{
 		Instructions: *insts, Seed: *seed, Timeout: *timeout, Context: ctx,
 		CacheDir: *cacheDir, CacheMaxBytes: *cacheMaxBytes,
+	}
+	if *schemesCSV != "" {
+		for _, s := range strings.Split(*schemesCSV, ",") {
+			opt.Schemes = append(opt.Schemes, experiment.Scheme(strings.TrimSpace(s)))
+		}
 	}
 	emit := func(rep experiment.Report, err error) {
 		if err != nil {

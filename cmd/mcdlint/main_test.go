@@ -54,6 +54,8 @@ func TestFixtureViolations(t *testing.T) {
 		"[ctxflow] Sweep accepts a context.Context but never propagates",
 		"[errtaxonomy] Run returns a raw errors.New",
 		"[errtaxonomy] Run returns fmt.Errorf without %w",
+		"[schemeswitch] switch on Scheme",
+		"[schemeswitch] tagless switch comparing Scheme values",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q\n%s", want, out)
@@ -90,7 +92,7 @@ func TestSelectAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list exit code = %d\n%s", code, out)
 	}
-	for _, name := range []string{"detrange", "detsource", "ctxflow", "errtaxonomy"} {
+	for _, name := range []string{"detrange", "detsource", "ctxflow", "errtaxonomy", "schemeswitch"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %s:\n%s", name, out)
 		}

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"syscall"
 
+	"mcddvfs"
 	"mcddvfs/internal/dvfs"
 	"mcddvfs/internal/experiment"
 	"mcddvfs/internal/faults"
@@ -30,8 +31,9 @@ import (
 
 func main() {
 	var (
-		bench   = flag.String("bench", "epic_decode", "benchmark name (see -list)")
-		scheme  = flag.String("scheme", "adaptive", "DVFS scheme: none | adaptive | pid | attack-decay")
+		bench  = flag.String("bench", "epic_decode", "benchmark name (see -list)")
+		scheme = flag.String("scheme", "adaptive",
+			"DVFS scheme: "+strings.Join(schemeNames(), " | "))
 		insts   = flag.Int64("insts", 500000, "dynamic instruction budget")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		verbose = flag.Bool("v", false, "print per-domain details and the frequency trace summary")
@@ -112,6 +114,16 @@ func main() {
 		fmt.Printf("  perf degradation     %7.2f%%\n", 100*c.perf)
 		fmt.Printf("  EDP improvement      %7.2f%%\n", 100*c.edp)
 	}
+}
+
+// schemeNames lists every registered scheme for the -scheme usage
+// string, so new registry plugins surface in -h with no CLI edits.
+func schemeNames() []string {
+	var names []string
+	for _, d := range mcddvfs.Schemes() {
+		names = append(names, string(d.Name))
+	}
+	return names
 }
 
 func exitErr(err error) {

@@ -137,10 +137,15 @@ func DiskCacheStats() (diskcache.Stats, error) {
 	return total, diskStores.openErr
 }
 
-// cacheKey hashes the complete simulation input. Options.Benchmarks is
-// deliberately excluded: it selects which runs happen, not what any
-// individual run computes. CacheDir/CacheMaxBytes are excluded for the
-// same reason — they say where results are stored, not what they are.
+// cacheKey hashes the complete simulation input. Options.Benchmarks
+// and Options.Schemes are deliberately excluded: they select which
+// runs happen, not what any individual run computes — a cell simulated
+// for a subset matrix must hit the same warm disk-cache entry as the
+// full sweep. CacheDir/CacheMaxBytes are excluded for the same reason
+// — they say where results are stored, not what they are. The scheme
+// enters the key as its registry name only (the struct below is part
+// of the byte-stability contract; see TestCacheKeyGolden), so a
+// registry refactor must never reorder or retype these fields.
 // MutateAdaptive is a function and cannot be hashed directly; it is
 // canonicalized by its observable effect — the controller
 // configuration it produces from each domain's default. The Format

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"context"
+	"encoding/hex"
 	"errors"
 	"reflect"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"testing"
 
 	"mcddvfs/internal/control"
+	"mcddvfs/internal/trace"
 )
 
 // smallOpt keeps cache tests fast: two benchmarks, short runs.
@@ -133,6 +135,47 @@ func TestCacheKeyCanonicalizesMutator(t *testing.T) {
 	}
 	if _, misses := CacheStats(); misses != 2 {
 		t.Errorf("different-effect mutator was served from cache")
+	}
+}
+
+// TestCacheKeyGolden pins the result-cache key for the four seed
+// schemes to the exact SHA-256 values the pre-registry code produced
+// (gzip, Instructions 20000, Seed 3, defaults applied). These keys
+// address warm on-disk cache entries, so ANY drift — field order,
+// type, the scheme's representation in the key — silently invalidates
+// every cache a user has built. If this test fails, the fix is to
+// restore the key derivation, not to update the constants (unless
+// diskcache.FormatVersion was deliberately bumped, which retires old
+// entries explicitly).
+func TestCacheKeyGolden(t *testing.T) {
+	golden := map[Scheme]string{
+		SchemeNone:        "a1b6fc3e404c1a72c3f8771a2f99491b02a8f6fbb05df6abbdd7b74b79a08d83",
+		SchemeAdaptive:    "558dff26263e5f7001492502462f9eb9515f369c79a7d5c2943a0d26be5b1e68",
+		SchemePID:         "71dd02a967ff412b8f5b26060a8f4dfa6542dfa56cf02e838dcbb71de17f3a7d",
+		SchemeAttackDecay: "2a445b1ba516bc01748a1d07cfea21e1fcc23abc2261b5637faca300c36057d0",
+	}
+	prof, err := trace.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Instructions: 20000, Seed: 3}.withDefaults()
+	for sch, want := range golden {
+		k, err := cacheKey(prof, sch, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := hex.EncodeToString(k[:]); got != want {
+			t.Errorf("%s: cache key %s, want %s — existing disk caches no longer hit", sch, got, want)
+		}
+	}
+	// Options.Schemes must never enter the key: a cell simulated for a
+	// subset matrix shares warm entries with the full sweep.
+	sub := opt
+	sub.Schemes = []Scheme{SchemeAdaptive}
+	k1, _ := cacheKey(prof, SchemeAdaptive, opt)
+	k2, _ := cacheKey(prof, SchemeAdaptive, sub)
+	if k1 != k2 {
+		t.Error("Options.Schemes leaked into the cache key")
 	}
 }
 

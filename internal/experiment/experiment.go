@@ -12,37 +12,44 @@ import (
 	"sync"
 	"time"
 
-	"mcddvfs/internal/baselines"
 	"mcddvfs/internal/control"
 	"mcddvfs/internal/faults"
-	"mcddvfs/internal/isa"
 	"mcddvfs/internal/mcd"
 	"mcddvfs/internal/power"
+	"mcddvfs/internal/scheme"
 	"mcddvfs/internal/trace"
 )
 
-// Scheme names a DVFS control scheme.
+// Scheme names a DVFS control scheme. Valid values are the names in
+// the scheme registry (internal/scheme); the constants below cover the
+// paper's evaluation, and scheme.Names() lists everything registered.
 type Scheme string
 
 // The four evaluated schemes: the no-DVFS baseline (all domains at
 // f_max), the paper's adaptive controller, and the two fixed-interval
-// prior-work schemes.
+// prior-work schemes. SchemeGlobal is a registered extension (see
+// internal/scheme/global.go); further extensions need no constant here
+// at all — any registered name is a valid Scheme.
 const (
 	SchemeNone        Scheme = "none"
 	SchemeAdaptive    Scheme = "adaptive"
 	SchemePID         Scheme = "pid"
 	SchemeAttackDecay Scheme = "attack-decay"
-	// SchemeGlobal is an extension beyond the paper's comparison: one
-	// adaptive decision engine driven by the most loaded queue, with
-	// all execution domains coupled to the same frequency. It
-	// approximates conventional synchronous-chip scaling and
-	// quantifies the benefit of per-domain MCD control.
-	SchemeGlobal Scheme = "global"
+	SchemeGlobal      Scheme = "global"
 )
 
-// ControlledSchemes lists the schemes that actually scale frequency.
+// ControlledSchemes lists the paper's core comparison — the registered
+// frequency-scaling schemes outside the extension set — in registry
+// display order. It is the default column set of every benchmark ×
+// scheme artifact, so its contents are part of the byte-stability
+// contract (see scheme.Descriptor.Extension).
 func ControlledSchemes() []Scheme {
-	return []Scheme{SchemeAdaptive, SchemePID, SchemeAttackDecay}
+	ds := scheme.Default()
+	out := make([]Scheme, len(ds))
+	for i, d := range ds {
+		out[i] = Scheme(d.Name)
+	}
+	return out
 }
 
 // Options configures a harness run.
@@ -55,6 +62,15 @@ type Options struct {
 	Seed int64
 	// Benchmarks restricts the suite (nil = all 17).
 	Benchmarks []string
+	// Schemes restricts the benchmark × scheme sweeps (RunMatrix, the
+	// fault sweep, and the figures they feed) to this subset of
+	// registered frequency-controlling schemes, validated against the
+	// scheme registry and normalized to registry display order (nil =
+	// the paper's core comparison, ControlledSchemes). The no-DVFS
+	// baseline always runs regardless — every metric is measured
+	// against it. Like Benchmarks, this selects which runs happen, not
+	// what any run computes, so it never enters the result-cache key.
+	Schemes []Scheme
 	// PIDIntervalTicks overrides the PID decision interval (0 = the
 	// 2500-tick default) — used by the Table-3 sweep.
 	PIDIntervalTicks int
@@ -177,9 +193,10 @@ func runCell(ctx context.Context, prof trace.Profile, scheme Scheme, opt Options
 
 // validateRun front-loads every input check so bad specs surface as
 // ErrInvalidSpec at the API boundary instead of panics (or cryptic
-// construction errors) from deep inside the simulator. opt must
+// construction errors) from deep inside the simulator. The scheme and
+// its per-scheme options validate against the registry. opt must
 // already have defaults applied.
-func validateRun(prof trace.Profile, scheme Scheme, opt Options) error {
+func validateRun(prof trace.Profile, sch Scheme, opt Options) error {
 	if err := prof.Validate(); err != nil {
 		return invalidSpec(err)
 	}
@@ -187,12 +204,36 @@ func validateRun(prof trace.Profile, scheme Scheme, opt Options) error {
 	if err := cfg.Validate(); err != nil {
 		return invalidSpec(err)
 	}
-	switch scheme {
-	case SchemeNone, SchemeAdaptive, SchemePID, SchemeAttackDecay, SchemeGlobal:
-	default:
-		return invalidSpec(fmt.Errorf("experiment: unknown scheme %q", scheme))
+	desc, err := lookupScheme(sch)
+	if err != nil {
+		return err
+	}
+	if desc.Validate != nil {
+		if err := desc.Validate(opt.schemeOptions()); err != nil {
+			return invalidSpec(err)
+		}
 	}
 	return nil
+}
+
+// lookupScheme resolves a scheme name against the registry; unknown
+// names fail as ErrInvalidSpec listing what is registered.
+func lookupScheme(sch Scheme) (scheme.Descriptor, error) {
+	desc, ok := scheme.Lookup(string(sch))
+	if !ok {
+		return scheme.Descriptor{}, invalidSpec(fmt.Errorf("experiment: unknown scheme %q (registered: %s)", sch, scheme.NamesList()))
+	}
+	return desc, nil
+}
+
+// schemeOptions projects the harness options onto the registry's view:
+// the knobs a scheme's Validate and Attach hooks may consult.
+func (o Options) schemeOptions() scheme.Options {
+	return scheme.Options{
+		Machine:          o.Machine,
+		MutateAdaptive:   o.MutateAdaptive,
+		PIDIntervalTicks: o.PIDIntervalTicks,
+	}
 }
 
 // traceSeedOffset decouples the workload stream's RNG from the clock
@@ -247,61 +288,21 @@ func runProfile(ctx context.Context, prof trace.Profile, scheme Scheme, opt Opti
 // AttachScheme wires the controllers for a scheme onto an existing
 // processor — the hook for tools that build their own Processor (e.g.
 // trace replay).
-func AttachScheme(p *mcd.Processor, scheme Scheme, opt Options) error {
-	return attach(p, scheme, opt)
+func AttachScheme(p *mcd.Processor, sch Scheme, opt Options) error {
+	return attach(p, sch, opt)
 }
 
-// attach wires one controller instance per controlled domain. Each
-// scheme uses the paper's per-domain reference occupancies (7 for INT,
-// 4 for FP/LS) so the comparison is apples-to-apples. On machines with
-// a DVFS-controllable dispatch domain, the adaptive scheme also drives
-// it from the fetch-queue occupancy.
-func attach(p *mcd.Processor, scheme Scheme, opt Options) error {
-	if opt.Machine != nil && opt.Machine.ControlFrontEnd && scheme == SchemeAdaptive {
-		cfg := control.DefaultConfig(isa.DomainFP) // qref 4 on the 16-entry fetch queue
-		if opt.MutateAdaptive != nil {
-			opt.MutateAdaptive(&cfg)
-		}
-		p.AttachFrontEnd(control.NewAdaptive(cfg))
+// attach resolves the scheme against the registry and lets its
+// descriptor wire one controller instance per controlled domain. The
+// per-scheme wiring (reference occupancies, front-end control, the
+// global engine's ports) lives with each descriptor in
+// internal/scheme; this function only dispatches.
+func attach(p *mcd.Processor, sch Scheme, opt Options) error {
+	desc, err := lookupScheme(sch)
+	if err != nil {
+		return err
 	}
-	if scheme == SchemeGlobal {
-		g := baselines.NewGlobal(control.DefaultConfig(isa.DomainFP))
-		for d := 0; d < isa.NumExecDomains; d++ {
-			p.Attach(isa.ExecDomain(d), g.Port(isa.ExecDomain(d)))
-		}
-		return nil
-	}
-	for d := 0; d < isa.NumExecDomains; d++ {
-		dom := isa.ExecDomain(d)
-		switch scheme {
-		case SchemeNone:
-			// pinned at f_max
-		case SchemeAdaptive:
-			cfg := control.DefaultConfig(dom)
-			if opt.MutateAdaptive != nil {
-				opt.MutateAdaptive(&cfg)
-			}
-			p.Attach(dom, control.NewAdaptive(cfg))
-		case SchemePID:
-			cfg := baselines.DefaultPID()
-			if dom == isa.DomainInt {
-				cfg.QRef = 7
-			}
-			if opt.PIDIntervalTicks > 0 {
-				cfg.IntervalTicks = opt.PIDIntervalTicks
-			}
-			p.Attach(dom, baselines.NewPID(cfg))
-		case SchemeAttackDecay:
-			cfg := baselines.DefaultAttackDecay()
-			if dom == isa.DomainInt {
-				cfg.QRef = 7
-			}
-			p.Attach(dom, baselines.NewAttackDecay(cfg))
-		default:
-			return fmt.Errorf("experiment: unknown scheme %q", scheme)
-		}
-	}
-	return nil
+	return desc.Attach(p, opt.schemeOptions())
 }
 
 // Matrix holds the benchmark × scheme result grid that Figures 9–11
@@ -309,6 +310,11 @@ func attach(p *mcd.Processor, scheme Scheme, opt Options) error {
 type Matrix struct {
 	Options    Options
 	Benchmarks []string
+	// Schemes is the controlled-scheme subset this matrix swept (the
+	// no-DVFS baseline is implicit and always present). Renderers use
+	// it to size and order their columns; nil means the default set,
+	// ControlledSchemes, so hand-built matrices stay valid.
+	Schemes []Scheme
 	// Results[bench][scheme]
 	Results map[string]map[Scheme]*mcd.Result
 	// Failures lists the cells that did not produce a result (panic,
@@ -335,12 +341,17 @@ func RunMatrix(opt Options) (*Matrix, error) {
 // ErrCancelled error so callers can flush what finished.
 func RunMatrixContext(ctx context.Context, opt Options) (*Matrix, error) {
 	opt = opt.withDefaults()
+	controlled, err := matrixSchemes(opt)
+	if err != nil {
+		return nil, err
+	}
 	m := &Matrix{
 		Options:    opt,
 		Benchmarks: opt.Benchmarks,
+		Schemes:    controlled,
 		Results:    make(map[string]map[Scheme]*mcd.Result, len(opt.Benchmarks)),
 	}
-	schemes := append([]Scheme{SchemeNone}, ControlledSchemes()...)
+	schemes := append([]Scheme{SchemeNone}, controlled...)
 	type cell struct {
 		bench  string
 		scheme Scheme
@@ -411,14 +422,72 @@ func RunMatrixContext(ctx context.Context, opt Options) (*Matrix, error) {
 	return m, nil
 }
 
+// matrixSchemes resolves Options.Schemes to the controlled-scheme
+// columns a matrix sweeps: nil means the paper's core comparison,
+// otherwise every requested name must be a registered
+// frequency-controlling scheme. The subset is normalized to registry
+// display order, deduplicated, and the implicit "none" baseline is
+// dropped (it always runs).
+func matrixSchemes(opt Options) ([]Scheme, error) {
+	if opt.Schemes == nil {
+		return ControlledSchemes(), nil
+	}
+	requested := make(map[string]bool, len(opt.Schemes))
+	for _, s := range opt.Schemes {
+		if s == SchemeNone {
+			continue // the baseline is implicit in every matrix
+		}
+		desc, err := lookupScheme(s)
+		if err != nil {
+			return nil, err
+		}
+		if !desc.Controlled {
+			return nil, invalidSpec(fmt.Errorf("experiment: scheme %q does not control frequency; matrix columns must (registered controlled schemes: %s)", s, controlledNamesList()))
+		}
+		requested[desc.Name] = true
+	}
+	if len(requested) == 0 {
+		return nil, invalidSpec(fmt.Errorf("experiment: scheme subset selects no controlled scheme (registered controlled schemes: %s)", controlledNamesList()))
+	}
+	var out []Scheme
+	for _, d := range scheme.All() {
+		if requested[d.Name] {
+			out = append(out, Scheme(d.Name))
+		}
+	}
+	return out, nil
+}
+
+// controlledNamesList renders every registered frequency-controlling
+// scheme (extensions included) for error messages.
+func controlledNamesList() string {
+	var names []string
+	for _, d := range scheme.All() {
+		if d.Controlled {
+			names = append(names, d.Name)
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+// schemes returns the controlled-scheme columns of this matrix,
+// falling back to the default set for hand-built matrices that never
+// populated the field.
+func (m *Matrix) schemes() []Scheme {
+	if m.Schemes != nil {
+		return m.Schemes
+	}
+	return ControlledSchemes()
+}
+
 // Complete reports whether a benchmark has a result for the baseline
-// and every controlled scheme.
+// and every controlled scheme in the matrix.
 func (m *Matrix) Complete(bench string) bool {
 	row := m.Results[bench]
 	if row[SchemeNone] == nil {
 		return false
 	}
-	for _, s := range ControlledSchemes() {
+	for _, s := range m.schemes() {
 		if row[s] == nil {
 			return false
 		}

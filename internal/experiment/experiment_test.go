@@ -58,6 +58,44 @@ func TestControlledSchemesSaveEnergy(t *testing.T) {
 	}
 }
 
+// TestExtensionSchemeThroughRegistry is the registry's proof of seam:
+// pid-adaptive exists only as a plugin (internal/scheme/pidadaptive.go
+// plus its controller), yet the harness runs it, labels it, caches it,
+// and it behaves as a real DVFS scheme — saving energy against the
+// baseline like the seed schemes do. No dispatch site in this package
+// names it.
+func TestExtensionSchemeThroughRegistry(t *testing.T) {
+	opt := fastOpt()
+	opt.Instructions = 150000
+	base, err := RunOne("swim", SchemeNone, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := RunOne("swim", Scheme("pid-adaptive"), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Scheme != "pid-adaptive" {
+		t.Errorf("scheme label = %q", run.Scheme)
+	}
+	if run.Metrics.EnergyJ >= base.Metrics.EnergyJ {
+		t.Errorf("pid-adaptive did not save energy on swim: %g >= %g", run.Metrics.EnergyJ, base.Metrics.EnergyJ)
+	}
+	// Extensions stay out of the default comparison: the core artifact
+	// columns are part of the byte-stability contract.
+	for _, s := range ControlledSchemes() {
+		if s == "pid-adaptive" || s == SchemeGlobal {
+			t.Fatalf("extension scheme %s leaked into the default set", s)
+		}
+	}
+	// The Table-3 knob maps onto the extension's decision floor, and
+	// its Validate hook rejects a negative one up front.
+	opt.PIDIntervalTicks = -5
+	if _, err := RunOne("swim", Scheme("pid-adaptive"), opt); err == nil {
+		t.Error("negative PIDIntervalTicks accepted")
+	}
+}
+
 func TestMatrixAndFigures(t *testing.T) {
 	opt := fastOpt("gzip", "adpcm_encode")
 	m, err := RunMatrix(opt)

@@ -231,7 +231,7 @@ func (m *Matrix) Figure10() Report {
 // Figure11 renders the EDP improvement on the fast-variation group,
 // where the paper reports the adaptive scheme's decisive win.
 func (m *Matrix) Figure11(fastGroup []string) Report {
-	sub := &Matrix{Options: m.Options, Benchmarks: fastGroup, Results: m.Results}
+	sub := &Matrix{Options: m.Options, Benchmarks: fastGroup, Schemes: m.Schemes, Results: m.Results}
 	rep := sub.figure("fig11", "Energy-delay-product improvement, fast-variation group",
 		func(sav, perf, edp float64) float64 { return edp })
 	ad := sub.MeanComparison(SchemeAdaptive, nil).EDPImprovement
@@ -247,7 +247,7 @@ func (m *Matrix) Figure11(fastGroup []string) Report {
 type comparisonSelector func(sav, perf, edp float64) float64
 
 func (m *Matrix) figure(id, title string, sel comparisonSelector) Report {
-	schemes := ControlledSchemes()
+	schemes := m.schemes()
 	header := fmt.Sprintf("%-14s", "benchmark")
 	for _, s := range schemes {
 		header += fmt.Sprintf(" %12s", s)
@@ -447,7 +447,7 @@ func Summary(m *Matrix, classes []BenchClass) Report {
 		"",
 		fmt.Sprintf("%-14s %12s %12s %12s", "suite average", "energy save", "perf degr.", "EDP impr."),
 	}
-	for _, s := range ControlledSchemes() {
+	for _, s := range m.schemes() {
 		c := m.MeanComparison(s, nil)
 		lines = append(lines, fmt.Sprintf("%-14s %11.2f%% %11.2f%% %11.2f%%",
 			s, 100*c.EnergySaving, 100*c.PerfDegradation, 100*c.EDPImprovement))
@@ -455,7 +455,7 @@ func Summary(m *Matrix, classes []BenchClass) Report {
 	fast := FastGroup(classes)
 	if len(fast) > 0 {
 		lines = append(lines, "", fmt.Sprintf("%-14s %12s %12s %12s", "fast group", "energy save", "perf degr.", "EDP impr."))
-		for _, s := range ControlledSchemes() {
+		for _, s := range m.schemes() {
 			c := m.MeanComparison(s, fast)
 			lines = append(lines, fmt.Sprintf("%-14s %11.2f%% %11.2f%% %11.2f%%",
 				s, 100*c.EnergySaving, 100*c.PerfDegradation, 100*c.EDPImprovement))

@@ -41,7 +41,10 @@ func FaultSweepContext(ctx context.Context, opt Options, benchmarks []string, in
 	if err := validateIntensities(intensities); err != nil {
 		return Report{}, err
 	}
-	schemes := ControlledSchemes()
+	schemes, err := matrixSchemes(opt)
+	if err != nil {
+		return Report{}, err
+	}
 
 	// One task per (intensity, scheme, benchmark) triple plus the
 	// shared clean baselines; the flat list keeps every simulation on

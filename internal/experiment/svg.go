@@ -79,7 +79,7 @@ func wl(v float64) string {
 func (m *Matrix) comparisonSVG(title, ylabel string, benchmarks []string, sel comparisonSelector) (string, error) {
 	labels := append(append([]string{}, benchmarks...), "AVERAGE")
 	groups := make([]plot.BarGroup, 0, 3)
-	for _, s := range ControlledSchemes() {
+	for _, s := range m.schemes() {
 		g := plot.BarGroup{Name: string(s)}
 		for _, b := range benchmarks {
 			c := m.Compare(b, s)

@@ -13,6 +13,10 @@
 //     errtaxonomy keeps every error crossing the harness boundary
 //     attached to the ErrInvalidSpec/ErrRunTimeout/ErrCancelled/
 //     ErrRunPanicked taxonomy.
+//   - DVFS schemes are self-describing plugins.
+//     schemeswitch forbids switch dispatch on Scheme values anywhere
+//     but the scheme registry (internal/scheme), so per-scheme
+//     behavior cannot fragment back into call sites.
 package lint
 
 import (
@@ -64,6 +68,7 @@ func Analyzers() []*analysis.Analyzer {
 		DetSource,
 		CtxFlow,
 		ErrTaxonomy,
+		SchemeSwitch,
 	}
 }
 

@@ -12,7 +12,8 @@ import (
 // analyzer that catches nothing.
 const fixtureDir = "testdata/src/fixture.example"
 
-func TestDetRange(t *testing.T)    { linttest.Run(t, fixtureDir, "detrange") }
-func TestDetSource(t *testing.T)   { linttest.Run(t, fixtureDir, "detsource") }
-func TestCtxFlow(t *testing.T)     { linttest.Run(t, fixtureDir, "ctxflow") }
-func TestErrTaxonomy(t *testing.T) { linttest.Run(t, fixtureDir, "errtaxonomy") }
+func TestDetRange(t *testing.T)     { linttest.Run(t, fixtureDir, "detrange") }
+func TestDetSource(t *testing.T)    { linttest.Run(t, fixtureDir, "detsource") }
+func TestCtxFlow(t *testing.T)      { linttest.Run(t, fixtureDir, "ctxflow") }
+func TestErrTaxonomy(t *testing.T)  { linttest.Run(t, fixtureDir, "errtaxonomy") }
+func TestSchemeSwitch(t *testing.T) { linttest.Run(t, fixtureDir, "schemeswitch") }

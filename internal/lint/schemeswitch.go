@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mcddvfs/internal/lint/analysis"
+)
+
+// SchemeSwitch forbids switch-based dispatch on DVFS scheme values
+// outside the scheme registry. Every per-scheme behavior belongs in
+// the scheme's Descriptor (internal/scheme): a switch on a Scheme
+// elsewhere is a shadow dispatch table that silently misses schemes
+// registered later — exactly the coupling the registry exists to kill.
+// Direct comparisons (s == SchemeNone) stay legal; they special-case
+// one known scheme rather than enumerating the set.
+//
+// The registry package itself is exempt by import-path suffix, like
+// the other analyzers' scopes, so the fixture module exercises the
+// same rule as the real tree.
+var SchemeSwitch = &analysis.Analyzer{
+	Name: "schemeswitch",
+	Doc:  "forbids switch dispatch on Scheme values outside the scheme registry package",
+	Run:  runSchemeSwitch,
+}
+
+// schemeRegistryPackages are exempt: the registry is the one sanctioned
+// place where per-scheme dispatch may live.
+var schemeRegistryPackages = []string{"internal/scheme"}
+
+// isSchemeType reports whether t is (or aliases) a named type `Scheme`
+// with string underlying — the experiment harness's scheme name type,
+// matched structurally so the fixture module's copy counts too.
+func isSchemeType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj() == nil || n.Obj().Name() != "Scheme" {
+		return false
+	}
+	basic, ok := n.Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.String
+}
+
+func runSchemeSwitch(pass *analysis.Pass) error {
+	if inScope(pass.Pkg.Path(), schemeRegistryPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			if sw.Tag != nil {
+				if isSchemeType(pass.TypeOf(sw.Tag)) {
+					pass.Reportf(sw.Switch, "switch on Scheme dispatches per-scheme behavior outside the registry; move it into a scheme Descriptor (internal/scheme)")
+				}
+				return true
+			}
+			// Tagless switch: a case comparing a Scheme value is the
+			// same dispatch table in disguise.
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if cmp, ok := e.(*ast.BinaryExpr); ok &&
+						(isSchemeType(pass.TypeOf(cmp.X)) || isSchemeType(pass.TypeOf(cmp.Y))) {
+						pass.Reportf(sw.Switch, "tagless switch comparing Scheme values dispatches per-scheme behavior outside the registry; move it into a scheme Descriptor (internal/scheme)")
+						return true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

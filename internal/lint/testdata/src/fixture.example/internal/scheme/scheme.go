@@ -1,0 +1,20 @@
+// Package scheme mirrors the real registry package: the one place
+// where per-scheme dispatch is sanctioned, exempted from schemeswitch
+// by import-path suffix (no want comments here).
+package scheme
+
+// Scheme mirrors the harness's scheme name type.
+type Scheme string
+
+// Legal registry-internal dispatch: building a descriptor table may
+// enumerate schemes freely.
+func DisplayOrder(s Scheme) int {
+	switch s {
+	case "none":
+		return 0
+	case "adaptive":
+		return 10
+	default:
+		return 99
+	}
+}

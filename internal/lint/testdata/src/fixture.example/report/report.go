@@ -1,0 +1,56 @@
+// Package report models a renderer outside the scheme registry: any
+// switch dispatch on Scheme values here is a shadow dispatch table the
+// schemeswitch analyzer must flag. Direct comparisons stay legal.
+package report
+
+// Scheme mirrors the harness's scheme name type; the analyzer matches
+// it structurally (named type Scheme over string).
+type Scheme string
+
+// The mirrored constants.
+const (
+	SchemeNone     Scheme = "none"
+	SchemeAdaptive Scheme = "adaptive"
+)
+
+// Label dispatches per scheme with a tagged switch: the exact shape
+// the registry refactor removed from the real tree.
+func Label(s Scheme) string {
+	switch s { // want schemeswitch `switch on Scheme .* outside the registry`
+	case SchemeNone:
+		return "baseline"
+	case SchemeAdaptive:
+		return "paper"
+	default:
+		return "?"
+	}
+}
+
+// Order hides the same dispatch table in a tagless switch.
+func Order(s Scheme) int {
+	switch { // want schemeswitch `tagless switch comparing Scheme values`
+	case s == SchemeNone:
+		return 0
+	case s == SchemeAdaptive:
+		return 1
+	default:
+		return 99
+	}
+}
+
+// IsBaseline special-cases one known scheme without enumerating the
+// set — legal, and the idiom the real call sites use.
+func IsBaseline(s Scheme) bool {
+	return s == SchemeNone
+}
+
+// Kind switches on a plain string, not a Scheme: out of the
+// analyzer's aim entirely.
+func Kind(s string) string {
+	switch s {
+	case "none":
+		return "baseline"
+	default:
+		return "controlled"
+	}
+}

@@ -1,0 +1,39 @@
+package scheme
+
+import (
+	"mcddvfs/internal/control"
+	"mcddvfs/internal/isa"
+	"mcddvfs/internal/mcd"
+)
+
+// The paper's scheme: per-domain event-driven control with adaptive
+// reaction time (Section 3). Each domain uses the paper's reference
+// occupancy (7 for INT, 4 for FP/LS); on machines with a
+// DVFS-controllable dispatch domain the scheme also drives the front
+// end from the fetch-queue occupancy.
+func init() {
+	Register(Descriptor{
+		Name:        "adaptive",
+		Order:       10,
+		Controlled:  true,
+		Description: "the paper's adaptive reaction-time controller (two-signal FSM per domain)",
+		Attach: func(p *mcd.Processor, opt Options) error {
+			if opt.Machine != nil && opt.Machine.ControlFrontEnd {
+				cfg := control.DefaultConfig(isa.DomainFP) // qref 4 on the 16-entry fetch queue
+				if opt.MutateAdaptive != nil {
+					opt.MutateAdaptive(&cfg)
+				}
+				p.AttachFrontEnd(control.NewAdaptive(cfg))
+			}
+			for d := 0; d < isa.NumExecDomains; d++ {
+				dom := isa.ExecDomain(d)
+				cfg := control.DefaultConfig(dom)
+				if opt.MutateAdaptive != nil {
+					opt.MutateAdaptive(&cfg)
+				}
+				p.Attach(dom, control.NewAdaptive(cfg))
+			}
+			return nil
+		},
+	})
+}

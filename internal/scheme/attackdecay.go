@@ -1,0 +1,30 @@
+package scheme
+
+import (
+	"mcddvfs/internal/baselines"
+	"mcddvfs/internal/isa"
+	"mcddvfs/internal/mcd"
+)
+
+// The fixed-interval attack/decay controller of Semeraro et al. [9]:
+// interval-boundary statistics drive a proportional "attack" on large
+// swings and a slow downward "decay" while the queue is comfortable.
+func init() {
+	Register(Descriptor{
+		Name:        "attack-decay",
+		Order:       30,
+		Controlled:  true,
+		Description: "fixed-interval attack/decay controller [Semeraro et al. 2002]",
+		Attach: func(p *mcd.Processor, opt Options) error {
+			for d := 0; d < isa.NumExecDomains; d++ {
+				dom := isa.ExecDomain(d)
+				cfg := baselines.DefaultAttackDecay()
+				if dom == isa.DomainInt {
+					cfg.QRef = 7
+				}
+				p.Attach(dom, baselines.NewAttackDecay(cfg))
+			}
+			return nil
+		},
+	})
+}

@@ -1,0 +1,31 @@
+package scheme
+
+import (
+	"mcddvfs/internal/baselines"
+	"mcddvfs/internal/control"
+	"mcddvfs/internal/isa"
+	"mcddvfs/internal/mcd"
+)
+
+// Chip-coupled scaling, an extension beyond the paper's comparison:
+// one adaptive decision engine driven by the most loaded queue, all
+// execution domains forced to the same frequency. It approximates
+// conventional synchronous-chip DVFS and quantifies the benefit of
+// per-domain MCD control; as an extension it never joins the default
+// matrix.
+func init() {
+	Register(Descriptor{
+		Name:        "global",
+		Order:       40,
+		Controlled:  true,
+		Extension:   true,
+		Description: "chip-coupled scaling: one adaptive engine drives every domain (extension)",
+		Attach: func(p *mcd.Processor, opt Options) error {
+			g := baselines.NewGlobal(control.DefaultConfig(isa.DomainFP))
+			for d := 0; d < isa.NumExecDomains; d++ {
+				p.Attach(isa.ExecDomain(d), g.Port(isa.ExecDomain(d)))
+			}
+			return nil
+		},
+	})
+}

@@ -1,0 +1,17 @@
+package scheme
+
+import "mcddvfs/internal/mcd"
+
+// The no-DVFS baseline: every domain pinned at f_max. It anchors every
+// comparison (energy saving, performance degradation, and EDP are all
+// measured against it), which is why it is the one registered scheme
+// with Controlled false.
+func init() {
+	Register(Descriptor{
+		Name:        "none",
+		Order:       0,
+		Controlled:  false,
+		Description: "no DVFS: all domains pinned at f_max (the comparison baseline)",
+		Attach:      func(p *mcd.Processor, opt Options) error { return nil },
+	})
+}

@@ -1,0 +1,41 @@
+package scheme
+
+import (
+	"fmt"
+
+	"mcddvfs/internal/baselines"
+	"mcddvfs/internal/isa"
+	"mcddvfs/internal/mcd"
+)
+
+// The fixed-interval PID controller of Wu et al. [23], the paper's
+// strongest prior-work comparison. Options.PIDIntervalTicks shortens or
+// stretches the decision interval (the Table-3 sweep).
+func init() {
+	Register(Descriptor{
+		Name:        "pid",
+		Order:       20,
+		Controlled:  true,
+		Description: "fixed-interval PID controller [Wu et al. 2004]",
+		Validate: func(opt Options) error {
+			if opt.PIDIntervalTicks < 0 {
+				return fmt.Errorf("scheme: negative PID interval %d ticks", opt.PIDIntervalTicks)
+			}
+			return nil
+		},
+		Attach: func(p *mcd.Processor, opt Options) error {
+			for d := 0; d < isa.NumExecDomains; d++ {
+				dom := isa.ExecDomain(d)
+				cfg := baselines.DefaultPID()
+				if dom == isa.DomainInt {
+					cfg.QRef = 7
+				}
+				if opt.PIDIntervalTicks > 0 {
+					cfg.IntervalTicks = opt.PIDIntervalTicks
+				}
+				p.Attach(dom, baselines.NewPID(cfg))
+			}
+			return nil
+		},
+	})
+}

@@ -1,0 +1,48 @@
+package scheme
+
+import (
+	"fmt"
+
+	"mcddvfs/internal/baselines"
+	"mcddvfs/internal/isa"
+	"mcddvfs/internal/mcd"
+)
+
+// pid-adaptive is the registry's proof-of-seam scheme: the
+// fixed-interval PID law wrapped in the paper's adaptive reaction-time
+// trigger. It exists entirely in this file plus its controller
+// (baselines.AdaptivePID) — no dispatch site elsewhere knows it by
+// name — and, as an extension, it renders as an extra report column
+// only when a scheme subset requests it (Options.Schemes / -schemes).
+//
+// Options.PIDIntervalTicks, the Table-3 knob, maps onto the decision
+// floor here so the same sweep can be pointed at this scheme.
+func init() {
+	Register(Descriptor{
+		Name:        "pid-adaptive",
+		Order:       50,
+		Controlled:  true,
+		Extension:   true,
+		Description: "PID control law behind the paper's adaptive reaction-time trigger (extension)",
+		Validate: func(opt Options) error {
+			if opt.PIDIntervalTicks < 0 {
+				return fmt.Errorf("scheme: negative PID interval %d ticks", opt.PIDIntervalTicks)
+			}
+			return nil
+		},
+		Attach: func(p *mcd.Processor, opt Options) error {
+			for d := 0; d < isa.NumExecDomains; d++ {
+				dom := isa.ExecDomain(d)
+				cfg := baselines.DefaultAdaptivePID()
+				if dom == isa.DomainInt {
+					cfg.QRef = 7
+				}
+				if opt.PIDIntervalTicks > 0 {
+					cfg.MinIntervalTicks = opt.PIDIntervalTicks
+				}
+				p.Attach(dom, baselines.NewAdaptivePID(cfg))
+			}
+			return nil
+		},
+	})
+}

@@ -1,0 +1,53 @@
+package mcddvfs
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestReadmeSchemeTable keeps the README's scheme table honest: every
+// row is regenerated from the registry via Schemes(), so registering a
+// new scheme without documenting it (or documenting one that does not
+// exist) fails the build.
+func TestReadmeSchemeTable(t *testing.T) {
+	src, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(src)
+
+	var rows []string
+	for _, d := range Schemes() {
+		kind := "core"
+		switch {
+		case !d.Controlled:
+			kind = "baseline"
+		case d.Extension:
+			kind = "extension"
+		}
+		rows = append(rows, fmt.Sprintf("| `%s` | %s | %s |", d.Name, kind, d.Description))
+	}
+	table := strings.Join(rows, "\n")
+	if !strings.Contains(readme, table) {
+		t.Errorf("README scheme table is out of date; it must contain exactly these registry-derived rows in order:\n%s", table)
+	}
+
+	// No row for a scheme the registry does not know.
+	for _, line := range strings.Split(readme, "\n") {
+		if !strings.HasPrefix(line, "| `") {
+			continue
+		}
+		name := strings.TrimPrefix(strings.SplitN(line, "`", 3)[1], "")
+		known := false
+		for _, d := range Schemes() {
+			if string(d.Name) == name {
+				known = true
+			}
+		}
+		if !known {
+			t.Errorf("README documents unregistered scheme %q", name)
+		}
+	}
+}
