@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench bench-compare
+.PHONY: build test race lint bench bench-compare bench-baseline
 
 build:
 	$(GO) build ./...
@@ -24,11 +24,30 @@ lint:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkRunMatrix' -benchtime 1x -benchmem .
 
-# bench-compare re-runs the tracked benchmarks and diffs ns/op against
-# the committed baseline; fails past the tolerance. Single-iteration
-# runs on shared hardware are noisy — treat a failure as "look closer",
-# not proof of a regression (CI runs this job non-blocking).
+# bench-compare re-runs the tracked benchmarks and gates against the
+# committed baseline; CI runs it as a blocking job. Two gates, each
+# calibrated to how its statistic behaves on shared hardware:
+#
+#   * wall clock at ±40% — benchmarks reporting sim-insts/s are judged
+#     on that figure, the rest on ns/op, best-of-5 (-count=5, benchjson
+#     keeps the fastest repeat). Coarse on purpose: back-to-back
+#     best-of-N invocations drift ±20-30% with runner load, so a
+#     tighter wall gate flaps red on quiet commits. 40% still trips on
+#     catastrophic slowdowns (reintroducing per-cycle polling, an
+#     accidental O(domains) scan per edge).
+#   * allocs/op at ±10% — allocation counts are deterministic between
+#     runs, so this gate is tight; it is the one that catches
+#     per-iteration garbage creeping back into the hot path.
+#
+# After a deliberate performance change, refresh the baseline with
+# `make bench-baseline`.
 bench-compare:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkRunMatrix' -benchtime 1x -benchmem . \
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkRunMatrix' -benchtime 1x -count=5 -benchmem . \
 		| $(GO) run ./cmd/benchjson -out bench_new.json
-	$(GO) run ./cmd/benchjson -compare -tolerance 50 BENCH_baseline.json bench_new.json
+	$(GO) run ./cmd/benchjson -compare -tolerance 40 -alloc-tolerance 10 BENCH_baseline.json bench_new.json
+
+# bench-baseline rewrites BENCH_baseline.json from a fresh best-of-5
+# run; commit the result alongside the change that moved the numbers.
+bench-baseline:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkRunMatrix' -benchtime 1x -count=5 -benchmem . \
+		| $(GO) run ./cmd/benchjson -out BENCH_baseline.json

@@ -53,6 +53,8 @@ type Cache struct {
 	sets     int
 	ways     int
 	lineBits uint
+	setBits  uint
+	setMask  uint64
 
 	tags  []uint64 // sets*ways; tag+1 stored so 0 means invalid
 	dirty []bool
@@ -79,9 +81,14 @@ func New(name string, size, ways, lineSize int) *Cache {
 	for 1<<lineBits < lineSize {
 		lineBits++
 	}
+	setBits := uint(0)
+	for 1<<setBits < sets {
+		setBits++
+	}
 	n := sets * ways
 	return &Cache{
 		name: name, sets: sets, ways: ways, lineBits: lineBits,
+		setBits: setBits, setMask: uint64(sets - 1),
 		tags: make([]uint64, n), dirty: make([]bool, n), age: make([]uint32, n),
 	}
 }
@@ -102,8 +109,10 @@ func (c *Cache) Ways() int { return c.ways }
 func (c *Cache) LineSize() int { return 1 << c.lineBits }
 
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	// Sets are a power of two (New enforces it), so the modulo/divide
+	// pair reduces to mask/shift — this is the per-access hot path.
 	line := addr >> c.lineBits
-	return int(line % uint64(c.sets)), line/uint64(c.sets) + 1 // +1 so 0 = invalid
+	return int(line & c.setMask), line>>c.setBits + 1 // +1 so 0 = invalid
 }
 
 // Access looks up addr, allocating the line on a miss. It returns

@@ -1,9 +1,6 @@
 package clock
 
-import (
-	"fmt"
-	"math/rand"
-)
+import "fmt"
 
 // TransitionStyle selects how a domain behaves while its frequency and
 // voltage are physically slewing toward a new target (Section 3 of the
@@ -70,7 +67,7 @@ type Domain struct {
 	cycles   uint64
 	stopped  bool
 
-	jitter *rand.Rand
+	jitter *jitterRNG
 
 	// transitions counts completed frequency-change requests, and
 	// slewTime accumulates total time spent with the frequency moving;
@@ -97,7 +94,7 @@ func NewDomain(cfg DomainConfig) *Domain {
 		cfg:         cfg,
 		targetMHz:   cfg.FreqMHz,
 		slewFromMHz: cfg.FreqMHz,
-		jitter:      rand.New(rand.NewSource(cfg.Seed)),
+		jitter:      newJitterRNG(cfg.Seed),
 	}
 	return d
 }
@@ -229,7 +226,7 @@ func (d *Domain) jitterSample() Time {
 		return 0
 	}
 	sigma := d.cfg.JitterPS / 3
-	j := d.jitter.NormFloat64() * sigma
+	j := d.jitter.normFloat64() * sigma
 	if j > d.cfg.JitterPS {
 		j = d.cfg.JitterPS
 	} else if j < -d.cfg.JitterPS {

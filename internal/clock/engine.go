@@ -1,0 +1,399 @@
+package clock
+
+import "fmt"
+
+// EventKind labels the typed wake events the Engine tracks. The kind is
+// part of the deterministic ordering of simultaneous events (time first,
+// then kind, then scheduling order), so the declaration order below is
+// semantic: it is the tie-break priority mirrored by the event queue.
+type EventKind uint8
+
+const (
+	// EvDeadline is a self-scheduled recheck bound: a domain that found
+	// nothing to do computed the earliest time anything it is waiting on
+	// (operand readiness, entry visibility, a fetch-block window) can
+	// change, and asked to be woken then.
+	EvDeadline EventKind = iota
+	// EvQueuePush wakes the consumer of a synchronizing queue when an
+	// upstream domain enqueues into it.
+	EvQueuePush
+	// EvQueueDrain wakes a producer blocked on a full downstream
+	// structure when the consumer frees a slot (or, equivalently, when
+	// the pipeline stage it feeds consumes the entry it was waiting on).
+	EvQueueDrain
+	// EvOperandReady wakes sleepers that were blocked on a producer
+	// that had not yet issued: once it issues, its completion time is
+	// known and broadcast as the wake bound.
+	EvOperandReady
+	// EvFreqChange wakes a domain whose frequency target changed (DVFS
+	// actuation or frequency-transition completion): its precomputed
+	// idle energy charge is stale and its work conditions may differ.
+	EvFreqChange
+	// EvActuation wakes a domain when a deferred actuator command
+	// (regulator latch delay plus PLL relock jitter) comes due. A newer
+	// deferred command reschedules the wake.
+	EvActuation
+	numEventKinds
+)
+
+// NumEventKinds is the number of distinct event kinds.
+const NumEventKinds = int(numEventKinds)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvDeadline:
+		return "deadline"
+	case EvQueuePush:
+		return "queue-push"
+	case EvQueueDrain:
+		return "queue-drain"
+	case EvOperandReady:
+		return "operand-ready"
+	case EvFreqChange:
+		return "freq-change"
+	case EvActuation:
+		return "actuation"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one pending typed wake in the engine's queue.
+type Event struct {
+	At     Time
+	Kind   EventKind
+	Domain int
+
+	// epoch snapshots the target domain's sleep epoch at scheduling
+	// time; an event whose epoch is stale (the domain woke since) is
+	// discarded unprocessed.
+	epoch uint64
+	// seq is the global scheduling order, the final tie-break.
+	seq uint64
+}
+
+// before is the deterministic event ordering: time, then kind, then
+// scheduling order. Never wall-clock, never map order.
+func (ev Event) before(other Event) bool {
+	if ev.At != other.At {
+		return ev.At < other.At
+	}
+	if ev.Kind != other.Kind {
+		return ev.Kind < other.Kind
+	}
+	return ev.seq < other.seq
+}
+
+// eventQueue is a binary min-heap of Events ordered by Event.before.
+// It is a concrete heap (no container/heap interface) so pushes and
+// pops on the simulation path stay allocation-free after warm-up.
+type eventQueue struct {
+	ev []Event
+}
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+func (q *eventQueue) push(ev Event) {
+	q.ev = append(q.ev, ev)
+	i := len(q.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.ev[i].before(q.ev[parent]) {
+			break
+		}
+		q.ev[i], q.ev[parent] = q.ev[parent], q.ev[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) peek() (Event, bool) {
+	if len(q.ev) == 0 {
+		return Event{}, false
+	}
+	return q.ev[0], true
+}
+
+func (q *eventQueue) pop() Event {
+	top := q.ev[0]
+	last := len(q.ev) - 1
+	q.ev[0] = q.ev[last]
+	q.ev = q.ev[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(q.ev) && q.ev[l].before(q.ev[smallest]) {
+			smallest = l
+		}
+		if r < len(q.ev) && q.ev[r].before(q.ev[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		q.ev[i], q.ev[smallest] = q.ev[smallest], q.ev[i]
+		i = smallest
+	}
+}
+
+// DomainEngineStats counts what the engine did for one domain.
+type DomainEngineStats struct {
+	// SlowEdges is the number of clock edges on which the domain's full
+	// cycle work ran.
+	SlowEdges uint64
+	// SkippedEdges is the number of clock edges consumed while the
+	// domain was descheduled: the clock (and its jitter stream) still
+	// advanced, but the per-cycle work was provably a no-op and was
+	// replaced by the precomputed idle energy charge.
+	SkippedEdges uint64
+	// Sleeps counts transitions into the descheduled state.
+	Sleeps uint64
+	// Wakes counts wake events by kind.
+	Wakes [NumEventKinds]uint64
+}
+
+// domainState is the engine's per-domain scheduling state.
+type domainState struct {
+	asleep bool
+	// wakeAt is the earliest live wake event for the domain (Forever
+	// when the domain waits for an external wake only). The first edge
+	// at or after wakeAt runs the full cycle work again.
+	wakeAt Time
+	// wakeKind remembers which event set wakeAt, for wake accounting.
+	wakeKind EventKind
+	// wakeOnIssue marks sleepers whose wake bound involved a producer
+	// that had not issued yet: any issue broadcast can lower their bound.
+	wakeOnIssue bool
+	epoch       uint64
+	stats       DomainEngineStats
+}
+
+// Engine schedules a set of clock domains as a deterministic event
+// system. It extends the Scheduler's next-edge arbitration (earliest
+// pending edge wins, ties break by registration order) with a typed
+// wake-event queue that lets callers deschedule a domain whose cycle
+// work is provably a no-op: the domain's clock still advances edge by
+// edge — edge times and the per-edge jitter stream are part of the
+// simulator's bit-exact contract — but each descheduled edge is consumed
+// through IdleAdvance instead of running the domain's cycle work, until
+// a wake event (queue push, operand readiness, frequency change,
+// actuation, or a self-scheduled deadline) is due.
+//
+// Determinism rules:
+//   - Edge arbitration: earliest edge first; equal times break by
+//     registration order (Next mirrors Scheduler.Next).
+//   - Event ordering: earliest time first; equal times break by event
+//     kind, then by scheduling order (Event.before).
+//   - No wall-clock time, no map iteration, no randomness.
+//
+// Registered domains are owned by the engine: their clocks must only
+// advance (or stop) through Engine calls, which keep the cached
+// next-edge times in sync. The cache turns arbitration into a scan of
+// one flat Time slice instead of a pointer chase into every Domain on
+// every edge.
+type Engine struct {
+	domains []*Domain
+	state   []domainState
+	edges   []Time // cached Domain.NextEdge, maintained by Advance/IdleAdvance
+	pq      eventQueue
+	now     Time
+	seq     uint64
+	// issueSubs counts sleepers subscribed to issue broadcasts, so
+	// BroadcastIssue on the issue hot path is a single compare when
+	// nobody is listening.
+	issueSubs int
+}
+
+// NewEngine creates an engine over the given domains, registered in
+// argument order.
+func NewEngine(domains ...*Domain) *Engine {
+	e := &Engine{}
+	for _, d := range domains {
+		e.Add(d)
+	}
+	return e
+}
+
+// Add registers another domain and returns its index. Registration
+// order is the arbitration tie-break, exactly as with Scheduler.
+func (e *Engine) Add(d *Domain) int {
+	e.domains = append(e.domains, d)
+	e.state = append(e.state, domainState{wakeAt: Forever})
+	e.edges = append(e.edges, d.NextEdge())
+	return len(e.domains) - 1
+}
+
+// Len returns the number of registered domains.
+func (e *Engine) Len() int { return len(e.domains) }
+
+// Domains returns the registered domains in registration order.
+func (e *Engine) Domains() []*Domain { return e.domains }
+
+// Domain returns the domain at index i.
+func (e *Engine) Domain(i int) *Domain { return e.domains[i] }
+
+// Now returns the time of the most recently consumed non-idle edge.
+func (e *Engine) Now() Time { return e.now }
+
+// Next returns the index of the domain with the earliest pending clock
+// edge (sleeping domains included: their clocks keep running) and that
+// edge's time. Ties break by registration order. It returns (-1,
+// Forever) when every domain is stopped.
+func (e *Engine) Next() (int, Time) {
+	best := -1
+	bestT := Forever
+	for i, t := range e.edges {
+		if t < bestT {
+			best, bestT = i, t
+		}
+	}
+	return best, bestT
+}
+
+// Advance consumes domain i's pending edge as a full (slow) edge and
+// returns its time. Stale events that reached the queue head are
+// discarded here, off the idle path.
+func (e *Engine) Advance(i int) Time {
+	st := &e.state[i]
+	st.stats.SlowEdges++
+	d := e.domains[i]
+	t := d.Advance()
+	e.edges[i] = d.NextEdge()
+	e.now = t
+	for {
+		head, ok := e.pq.peek()
+		if !ok || head.epoch == e.state[head.Domain].epoch {
+			break
+		}
+		e.pq.pop()
+	}
+	return t
+}
+
+// IdleAdvance consumes domain i's pending edge as a descheduled edge:
+// the clock (and jitter stream) advances, the cycle work is skipped.
+// The caller owns charging the domain's precomputed idle energy.
+func (e *Engine) IdleAdvance(i int) Time {
+	e.state[i].stats.SkippedEdges++
+	d := e.domains[i]
+	t := d.Advance()
+	e.edges[i] = d.NextEdge()
+	return t
+}
+
+// IdleHorizon returns the earliest future time at which the engine's
+// scheduling state can change: the minimum over awake domains' next
+// edges and sleeping domains' wake bounds. Sleep and wake state only
+// mutates during slow-edge cycle work, and no slow edge can run before
+// the horizon, so every sleeping domain's clock edge strictly before it
+// is provably idle: callers may consume those edges in a tight batch
+// (IdleAdvance plus the idle energy charge) without re-arbitrating
+// after each one.
+func (e *Engine) IdleHorizon() Time {
+	h := Forever
+	for i := range e.state {
+		st := &e.state[i]
+		if st.asleep {
+			if st.wakeAt < h {
+				h = st.wakeAt
+			}
+		} else if t := e.edges[i]; t < h {
+			h = t
+		}
+	}
+	return h
+}
+
+// Asleep reports whether domain i is descheduled.
+func (e *Engine) Asleep(i int) bool { return e.state[i].asleep }
+
+// WakeAt returns the earliest live wake bound for domain i (Forever
+// when it waits for an external wake only).
+func (e *Engine) WakeAt(i int) Time { return e.state[i].wakeAt }
+
+// Sleep deschedules domain i until an event wakes it. A finite `until`
+// self-schedules an EvDeadline wake (the caller's recheck bound);
+// wakeOnIssue additionally subscribes the domain to EvOperandReady
+// broadcasts. The caller must only sleep a domain whose cycle work is a
+// no-op until one of its wake conditions fires.
+func (e *Engine) Sleep(i int, until Time, wakeOnIssue bool) {
+	st := &e.state[i]
+	if st.asleep {
+		panic(fmt.Sprintf("clock: Sleep on already-sleeping domain %q", e.domains[i].Name()))
+	}
+	st.asleep = true
+	st.wakeAt = Forever
+	st.wakeOnIssue = wakeOnIssue
+	if wakeOnIssue {
+		e.issueSubs++
+	}
+	st.stats.Sleeps++
+	if until < Forever {
+		e.Schedule(until, EvDeadline, i)
+	}
+}
+
+// Wake immediately reschedules domain i: its next edge runs the full
+// cycle work. Waking an awake domain is a no-op, so callers can wake
+// unconditionally on state changes. Pending events for the domain
+// become stale and are discarded lazily.
+func (e *Engine) Wake(i int, kind EventKind) {
+	st := &e.state[i]
+	if !st.asleep {
+		return
+	}
+	st.asleep = false
+	if st.wakeOnIssue {
+		st.wakeOnIssue = false
+		e.issueSubs--
+	}
+	st.wakeAt = Forever
+	st.epoch++
+	st.stats.Wakes[kind]++
+}
+
+// Schedule enqueues a typed wake for domain i at time `at`. Events that
+// cannot lower the domain's wake bound (domain awake, or an earlier
+// wake already pending) coalesce into a no-op, so the queue holds only
+// bound-improving events. The first edge at or after the bound wakes
+// the domain.
+func (e *Engine) Schedule(at Time, kind EventKind, i int) {
+	st := &e.state[i]
+	if !st.asleep || at >= st.wakeAt {
+		return
+	}
+	e.pq.push(Event{At: at, Kind: kind, Domain: i, epoch: st.epoch, seq: e.seq})
+	e.seq++
+	st.wakeAt = at
+	st.wakeKind = kind
+}
+
+// BroadcastIssue lowers the wake bound of every wakeOnIssue sleeper to
+// readyAt: a producer with an unknown completion time just issued, so
+// consumers blocked on it can be rechecked once its result is due.
+func (e *Engine) BroadcastIssue(readyAt Time) {
+	if e.issueSubs == 0 {
+		return
+	}
+	for i := range e.state {
+		if e.state[i].wakeOnIssue {
+			e.Schedule(readyAt, EvOperandReady, i)
+		}
+	}
+}
+
+// WakeDue wakes domain i from an expired bound (its next edge reached
+// wakeAt), attributing the wake to the event kind that set the bound.
+func (e *Engine) WakeDue(i int) {
+	st := &e.state[i]
+	kind := st.wakeKind
+	e.Wake(i, kind)
+}
+
+// Stats returns domain i's scheduling counters.
+func (e *Engine) Stats(i int) DomainEngineStats { return e.state[i].stats }
+
+// PendingEvents returns the number of events resident in the queue
+// (live and stale); for tests and introspection.
+func (e *Engine) PendingEvents() int { return e.pq.len() }

@@ -37,6 +37,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -145,6 +146,41 @@ func (s *Store) count(f func(*Stats)) {
 	s.mu.Unlock()
 }
 
+// blobPool recycles entry read buffers across Gets. A warm experiment
+// matrix replayed from disk reads one multi-megabyte entry per cell;
+// without reuse every hit allocates (and promptly garbage-collects) a
+// fresh blob, which dominated the warm-disk hit path's allocation
+// profile. Buffers are returned to the pool only after gob has copied
+// the payload into the caller's value, so no decoded data aliases a
+// pooled buffer.
+var blobPool = sync.Pool{New: func() any { b := make([]byte, 0, 64<<10); return &b }}
+
+// readEntry reads the file into a pooled buffer. The returned release
+// func recycles the buffer; the blob must not be used after calling it.
+func readEntry(path string) (blob []byte, release func(), err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close() //nolint:errcheck // read-only descriptor
+	info, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := int(info.Size())
+	bp := blobPool.Get().(*[]byte)
+	if cap(*bp) < size {
+		*bp = make([]byte, 0, size)
+	}
+	blob = (*bp)[:size]
+	release = func() { blobPool.Put(bp) }
+	if _, err := io.ReadFull(f, blob); err != nil {
+		release()
+		return nil, nil, err
+	}
+	return blob, release, nil
+}
+
 // Get decodes the entry for key into v (a pointer, as for
 // gob.Decoder.Decode). A missing entry returns ErrMiss; a damaged or
 // stale one is deleted and returns ErrCorrupt or ErrVersionMismatch.
@@ -152,7 +188,7 @@ func (s *Store) count(f func(*Stats)) {
 // use.
 func (s *Store) Get(key [sha256.Size]byte, v any) error {
 	path := s.path(key)
-	blob, err := os.ReadFile(path)
+	blob, release, err := readEntry(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		s.count(func(st *Stats) { st.Misses++ })
 		return fmt.Errorf("%w: %s", ErrMiss, hex.EncodeToString(key[:8]))
@@ -161,6 +197,7 @@ func (s *Store) Get(key [sha256.Size]byte, v any) error {
 		s.count(func(st *Stats) { st.Misses++ })
 		return fmt.Errorf("%w: reading %s: %v", ErrCorrupt, path, err)
 	}
+	defer release()
 	payload, err := decodeEntry(blob)
 	if err != nil {
 		os.Remove(path) //nolint:errcheck // best-effort self-heal

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -315,4 +316,55 @@ func TestOpenRunsInitialGC(t *testing.T) {
 		t.Errorf("store holds %d bytes after re-Open, cap is %d", total, 1<<20)
 	}
 	_ = s2
+}
+
+// TestGetReusesReadBuffers is the allocation regression test for the
+// warm hit path: once the blob pool is warm, repeated Gets of a
+// multi-megabyte entry must not re-allocate the read buffer. The
+// decoded value's own storage (the Series slice, the map) is a real
+// cost of returning data and is excluded by measuring total heap bytes
+// against a budget of roughly twice the decoded size — far below the
+// ~2x entry-size churn the unpooled path paid per hit.
+func TestGetReusesReadBuffers(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200_000 // 1.6 MB of series data per entry
+	if err := s.Put(key(1), samplePayload(n)); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := s.Get(key(1), &got); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+
+	const rounds = 8
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < rounds; i++ {
+		var v payload
+		if err := s.Get(key(1), &v); err != nil {
+			t.Fatal(err)
+		}
+		if len(v.Series) != n {
+			t.Fatalf("decoded %d samples, want %d", len(v.Series), n)
+		}
+	}
+	runtime.ReadMemStats(&after)
+
+	perGet := int64(after.TotalAlloc-before.TotalAlloc) / rounds
+	decoded := int64(n * 8)
+	// A warm Get pays for the decoded value itself (~decoded bytes)
+	// plus gob's internal message buffer (gob always copies the payload
+	// into a fresh per-Decoder buffer — about one more decoded-size
+	// allocation). The pooled blob must not add a third copy: hold the
+	// line at twice the decoded size, well under the ~3x the unpooled
+	// path paid.
+	budget := 2 * decoded
+	if perGet > budget {
+		t.Errorf("warm Get allocates %d B/op, budget %d (decoded payload is %d)",
+			perGet, budget, decoded)
+	}
 }

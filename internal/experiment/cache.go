@@ -70,10 +70,11 @@ func SetCaching(on bool) {
 // directory to force a cold run).
 func ResetCache() {
 	resultCache.mu.Lock()
-	defer resultCache.mu.Unlock()
 	resultCache.entries = make(map[[sha256.Size]byte]*cacheEntry)
 	resultCache.hits = 0
 	resultCache.misses = 0
+	resultCache.mu.Unlock()
+	sharedReplays.reset()
 }
 
 // CacheStats reports how many RunProfile calls were served from memory

@@ -262,7 +262,7 @@ func runProfile(ctx context.Context, prof trace.Profile, scheme Scheme, opt Opti
 	if srcFn != nil {
 		gen, err = srcFn()
 	} else {
-		gen, err = trace.NewGenerator(prof, opt.Seed+traceSeedOffset, opt.Instructions)
+		gen, err = sharedReplays.source(prof, opt.Seed+traceSeedOffset, opt.Instructions)
 		if err != nil {
 			err = invalidSpec(err)
 		}

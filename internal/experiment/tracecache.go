@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/json"
+	"sync"
+
+	"mcddvfs/internal/trace"
+)
+
+// The single-run path (RunOne / RunProfile and every report built on
+// them) regenerates its workload stream from the profile on each
+// uncached simulation, even when the same (profile, seed, budget)
+// stream was generated moments ago — e.g. a benchmark loop or a report
+// that runs several schemes over one benchmark with result caching
+// off. Generation is a large fraction of an uncontrolled run (RNG
+// draws, branch-history map updates), so the harness keeps a small LRU
+// of recorded streams and hands each run a zero-alloc replay cursor.
+// A replayed stream is bit-identical to a generated one (see
+// trace.RecordProfile), which keeps the cache semantics-free; the
+// SetTraceSharing toggle that governs the matrix trace bank disables
+// this cache too, preserving the pre-sharing behavior for A/B runs.
+type replayCache struct {
+	mu       sync.Mutex
+	entries  map[replayKey]*list.Element // value: *replayEntry
+	order    *list.List                  // front = most recently used
+	bytes    int64
+	maxBytes int64
+}
+
+type replayKey struct {
+	// fingerprint digests the full Profile value, so two distinct
+	// custom profiles sharing a name can never alias.
+	fingerprint [sha256.Size]byte
+	seed        int64
+	insts       int64
+}
+
+type replayEntry struct {
+	key replayKey
+	rec *trace.Recorded
+}
+
+// replayCacheMaxBytes bounds resident recordings. A 100k-instruction
+// trace is ~2.5 MB (25 B/inst), so the default holds the whole bundled
+// suite at benchmark budgets with room to spare.
+const replayCacheMaxBytes = 64 << 20
+
+var sharedReplays = &replayCache{
+	entries:  make(map[replayKey]*list.Element),
+	order:    list.New(),
+	maxBytes: replayCacheMaxBytes,
+}
+
+// key fingerprints a profile. Profiles are tiny (a handful of phases),
+// so one JSON encode + digest per simulation is noise next to trace
+// generation, and it is exact: any field that changes the generated
+// stream changes the key.
+func (c *replayCache) key(prof trace.Profile, seed, insts int64) (replayKey, bool) {
+	raw, err := json.Marshal(prof)
+	if err != nil {
+		return replayKey{}, false
+	}
+	return replayKey{fingerprint: sha256.Sum256(raw), seed: seed, insts: insts}, true
+}
+
+// source returns a replay cursor over the memoized recording for
+// (prof, seed, insts), recording it on first use. It falls back to a
+// streaming Generator when sharing is disabled or the recording would
+// not fit the cache.
+func (c *replayCache) source(prof trace.Profile, seed, insts int64) (trace.Source, error) {
+	if !traceSharingEnabled() || insts <= 0 || insts*25 > c.maxBytes {
+		return trace.NewGenerator(prof, seed, insts)
+	}
+	k, ok := c.key(prof, seed, insts)
+	if !ok {
+		return trace.NewGenerator(prof, seed, insts)
+	}
+
+	c.mu.Lock()
+	if el, hit := c.entries[k]; hit {
+		c.order.MoveToFront(el)
+		rec := el.Value.(*replayEntry).rec
+		c.mu.Unlock()
+		return rec.Replay(), nil
+	}
+	c.mu.Unlock()
+
+	// Record outside the lock; a concurrent miss on the same key does
+	// redundant (deterministic, identical) work rather than serializing
+	// every caller behind one recording.
+	rec, err := trace.RecordProfile(prof, seed, insts)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	if el, hit := c.entries[k]; hit {
+		c.order.MoveToFront(el)
+		rec = el.Value.(*replayEntry).rec
+	} else {
+		c.entries[k] = c.order.PushFront(&replayEntry{key: k, rec: rec})
+		c.bytes += rec.Bytes()
+		for c.bytes > c.maxBytes && c.order.Len() > 1 {
+			old := c.order.Back()
+			e := old.Value.(*replayEntry)
+			c.order.Remove(old)
+			delete(c.entries, e.key)
+			c.bytes -= e.rec.Bytes()
+		}
+	}
+	c.mu.Unlock()
+	return rec.Replay(), nil
+}
+
+// reset drops every memoized recording (test hook; ResetCache calls
+// it so "cold" benchmark regimes really are cold).
+func (c *replayCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[replayKey]*list.Element)
+	c.order.Init()
+	c.bytes = 0
+}

@@ -307,6 +307,12 @@ func (a *Actuator) Filter(now clock.Time, targetMHz float64, change bool) (float
 	return 0, false
 }
 
+// PendingDue reports whether a deferred command sits in the latch and
+// when it comes due. The event engine schedules an EvActuation wake for
+// the controlled domain at that time; a newer deferred command
+// overwrites the latch and reschedules the wake.
+func (a *Actuator) PendingDue() (clock.Time, bool) { return a.dueAt, a.pending }
+
 // Stuck reports whether the regulator has latched.
 func (a *Actuator) Stuck() bool { return a.stuck }
 

@@ -17,6 +17,10 @@
 //     schemeswitch forbids switch dispatch on Scheme values anywhere
 //     but the scheme registry (internal/scheme), so per-scheme
 //     behavior cannot fragment back into call sites.
+//   - The event engine owns registered domains.
+//     engineowned forbids direct clock.Domain.Advance/Stop calls
+//     outside internal/clock, so the engine's cached edge times stay
+//     coherent and per-cycle polling cannot creep back in.
 package lint
 
 import (
@@ -69,6 +73,7 @@ func Analyzers() []*analysis.Analyzer {
 		CtxFlow,
 		ErrTaxonomy,
 		SchemeSwitch,
+		EngineOwned,
 	}
 }
 

@@ -17,3 +17,4 @@ func TestDetSource(t *testing.T)    { linttest.Run(t, fixtureDir, "detsource") }
 func TestCtxFlow(t *testing.T)      { linttest.Run(t, fixtureDir, "ctxflow") }
 func TestErrTaxonomy(t *testing.T)  { linttest.Run(t, fixtureDir, "errtaxonomy") }
 func TestSchemeSwitch(t *testing.T) { linttest.Run(t, fixtureDir, "schemeswitch") }
+func TestEngineOwned(t *testing.T)  { linttest.Run(t, fixtureDir, "engineowned") }

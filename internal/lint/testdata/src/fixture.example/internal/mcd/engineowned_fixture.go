@@ -1,0 +1,44 @@
+package mcd
+
+import "fixture.example/internal/clock"
+
+// StepDirectly polls a domain edge-by-edge from outside the engine:
+// exactly the per-cycle pattern engineowned exists to catch.
+func StepDirectly(d *clock.Domain) uint64 {
+	return d.Advance() // want engineowned `outside the engine`
+}
+
+// HaltDirectly stops a domain behind the engine's back, leaving the
+// engine's cached edge time pointing at a dead clock.
+func HaltDirectly(d *clock.Domain) {
+	d.Stop() // want engineowned `outside the engine`
+}
+
+// StepViaEngine is the sanctioned idiom: register the domain and let
+// the engine advance it. No diagnostic.
+func StepViaEngine(e *clock.Engine, d *clock.Domain) {
+	e.Register(d)
+	e.Advance()
+}
+
+// Stop on an unrelated local type must not trip the analyzer: only
+// clock.Domain's methods are engine-owned.
+type watchdog struct{ armed bool }
+
+func (w *watchdog) Stop()    { w.armed = false }
+func (w *watchdog) Advance() {}
+
+// DisarmWatchdog exercises the same method names on a non-Domain
+// receiver. No diagnostic.
+func DisarmWatchdog(w *watchdog) {
+	w.Stop()
+	w.Advance()
+}
+
+// BootstrapDomain is order-sensitive setup that genuinely needs one
+// direct edge before the engine takes ownership; the escape hatch must
+// silence the diagnostic (no want here).
+func BootstrapDomain(d *clock.Domain) uint64 {
+	//lint:allow engineowned fixture demonstrates the escape hatch
+	return d.Advance()
+}

@@ -1,0 +1,189 @@
+package mcd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mcddvfs/internal/baselines"
+	"mcddvfs/internal/clock"
+	"mcddvfs/internal/control"
+	"mcddvfs/internal/faults"
+	"mcddvfs/internal/isa"
+	"mcddvfs/internal/trace"
+)
+
+// diffRun executes one configuration through both simulation cores —
+// the event-driven engine (the default) and the cycle-stepped oracle
+// (SetCycleStepped) — and requires bit-identical Results. Equality is
+// checked twice: structurally (reflect.DeepEqual covers every field,
+// meter totals and the sampled meter/occupancy streams included) and on
+// the serialized artifact bytes, which is the form the experiment cache
+// and CI artifact diff actually compare.
+func diffRun(t *testing.T, label string, cfg Config, profile string, insts int64, attach func(*Processor)) *Result {
+	t.Helper()
+	run := func(cycleStepped bool) *Result {
+		t.Helper()
+		prof, err := trace.ByName(profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := trace.NewGenerator(prof, cfg.Seed+100, insts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.SetCycleStepped(cycleStepped)
+		if attach != nil {
+			attach(p)
+		}
+		res, err := p.Run(gen)
+		if err != nil {
+			t.Fatalf("%s: core(cycleStepped=%v): %v", label, cycleStepped, err)
+		}
+		return res
+	}
+	event, oracle := run(false), run(true)
+	if !reflect.DeepEqual(event, oracle) {
+		t.Errorf("%s: event core diverged from cycle-stepped oracle:\nevent:  %+v\noracle: %+v", label, event, oracle)
+	}
+	ej, err := json.Marshal(event)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oj, err := json.Marshal(oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ej, oj) {
+		t.Errorf("%s: serialized artifacts differ between cores", label)
+	}
+	return event
+}
+
+func attachAdaptive(p *Processor) {
+	if p.cfg.ControlFrontEnd {
+		p.AttachFrontEnd(control.NewAdaptive(control.DefaultConfig(isa.DomainFP)))
+	}
+	for d := 0; d < isa.NumExecDomains; d++ {
+		dom := isa.ExecDomain(d)
+		p.Attach(dom, control.NewAdaptive(control.DefaultConfig(dom)))
+	}
+}
+
+func attachAttackDecay(p *Processor) {
+	for d := 0; d < isa.NumExecDomains; d++ {
+		p.Attach(isa.ExecDomain(d), baselines.NewAttackDecay(baselines.DefaultAttackDecay()))
+	}
+}
+
+func attachPID(p *Processor) {
+	for d := 0; d < isa.NumExecDomains; d++ {
+		p.Attach(isa.ExecDomain(d), baselines.NewPID(baselines.DefaultPID()))
+	}
+}
+
+// TestEventCoreMatchesOracle pins the headline claim on the default
+// machine: the event-driven core produces the byte-identical Result the
+// cycle-stepped core does, with and without DVFS control.
+func TestEventCoreMatchesOracle(t *testing.T) {
+	res := diffRun(t, "uncontrolled", DefaultConfig(), "gcc", 20000, nil)
+	if res.Metrics.Instructions != 20000 {
+		t.Errorf("retired %d instructions, want 20000", res.Metrics.Instructions)
+	}
+	diffRun(t, "adaptive", DefaultConfig(), "mcf", 20000, attachAdaptive)
+}
+
+// TestEventCoreMatchesOracleRandomized is the differential property
+// test: random configurations × trace profiles × fault seeds, each run
+// through both cores. Any divergence in any Result field — energy
+// accumulators, cycle counts, queue sample streams, frequency traces,
+// stall counters — fails the test.
+func TestEventCoreMatchesOracleRandomized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep is slow")
+	}
+	profiles := trace.Names()
+	attachers := []struct {
+		name string
+		fn   func(*Processor)
+	}{
+		{"none", nil},
+		{"adaptive", attachAdaptive},
+		{"attack-decay", attachAttackDecay},
+		{"pid", attachPID},
+	}
+	rng := rand.New(rand.NewSource(20260808))
+	for i := 0; i < 14; i++ {
+		cfg := DefaultConfig()
+		cfg.Seed = rng.Int63n(1 << 30)
+		profile := profiles[rng.Intn(len(profiles))]
+		att := attachers[rng.Intn(len(attachers))]
+		cfg.DeepSleep = rng.Intn(2) == 0
+		cfg.StoreForwarding = rng.Intn(2) == 0
+		cfg.Prefetch = rng.Intn(2) == 0
+		if rng.Intn(3) == 0 {
+			cfg.SplitFrontEnd = true
+			cfg.ControlFrontEnd = rng.Intn(2) == 0
+		}
+		if rng.Intn(2) == 0 {
+			cfg.Transitions.Style = clock.Transmeta
+		}
+		if rng.Intn(2) == 0 {
+			cfg.SyncPolicy = 1 // token-ring
+		}
+		var faultLevel float64
+		if att.fn != nil && rng.Intn(2) == 0 {
+			faultLevel = 0.25 + 0.75*rng.Float64()
+			cfg.Faults = faults.Intensity(faultLevel, rng.Int63n(1<<30))
+		}
+		insts := int64(6000 + rng.Intn(10000))
+		label := fmt.Sprintf("case%02d(%s,%s,seed=%d,deep=%v,split=%v,faults=%.2f)",
+			i, profile, att.name, cfg.Seed, cfg.DeepSleep, cfg.SplitFrontEnd, faultLevel)
+		t.Run(label, func(t *testing.T) {
+			diffRun(t, label, cfg, profile, insts, att.fn)
+		})
+	}
+}
+
+// TestEventCoreSkipsEdges asserts the engine actually descheduled work
+// on a workload with idle domains: a pure-integer profile leaves the FP
+// domain asleep almost permanently.
+func TestEventCoreSkipsEdges(t *testing.T) {
+	cfg := DefaultConfig()
+	prof, err := trace.ByName("adpcm_encode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := trace.NewGenerator(prof, cfg.Seed+100, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(gen); err != nil {
+		t.Fatal(err)
+	}
+	st := p.EngineStats()
+	fp := st[NameFP]
+	total := fp.SlowEdges + fp.SkippedEdges
+	if total == 0 {
+		t.Fatal("FP domain recorded no edges")
+	}
+	if frac := float64(fp.SkippedEdges) / float64(total); frac < 0.5 {
+		t.Errorf("FP domain skipped only %.1f%% of %d edges on integer-only code", 100*frac, total)
+	}
+	for name, s := range st {
+		t.Logf("%-9s slow=%-9d skipped=%-9d sleeps=%-7d (%.1f%% skipped)",
+			name, s.SlowEdges, s.SkippedEdges, s.Sleeps,
+			100*float64(s.SkippedEdges)/float64(s.SlowEdges+s.SkippedEdges+1))
+	}
+}

@@ -1,0 +1,65 @@
+package mcd
+
+import (
+	"testing"
+
+	"mcddvfs/internal/trace"
+)
+
+// TestIdleBurstCoverage drives the synthetic idle_burst workload (long
+// single-domain bursts) through the event core and asserts the engine
+// deschedules the starved domains at scale: every execution domain is
+// idle for roughly two thirds of the run, so each must batch-skip a
+// large share of its edges. This is the coverage workload for the
+// idle-descheduling machinery — the paper suite's codecs alternate
+// domains too quickly to hold a domain asleep for whole sampling
+// intervals.
+func TestIdleBurstCoverage(t *testing.T) {
+	cfg := DefaultConfig()
+	prof, err := trace.ByName("idle_burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const insts = 90000 // one full loop: all three bursts
+	gen, err := trace.NewGenerator(prof, cfg.Seed+100, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(gen); err != nil {
+		t.Fatal(err)
+	}
+
+	st := p.EngineStats()
+	var slow, skipped uint64
+	for name, s := range st {
+		total := s.SlowEdges + s.SkippedEdges
+		slow += s.SlowEdges
+		skipped += s.SkippedEdges
+		t.Logf("%-9s slow=%-9d skipped=%-9d sleeps=%-7d (%.1f%% skipped)",
+			name, s.SlowEdges, s.SkippedEdges, s.Sleeps,
+			100*float64(s.SkippedEdges)/float64(total+1))
+	}
+	// The FP domain only works during fp_spin: it must skip most edges.
+	fp := st[NameFP]
+	if total := fp.SlowEdges + fp.SkippedEdges; total == 0 {
+		t.Fatal("FP domain recorded no edges")
+	} else if frac := float64(fp.SkippedEdges) / float64(total); frac < 0.55 {
+		t.Errorf("FP domain skipped only %.1f%% of %d edges", 100*frac, total)
+	}
+	// Across all domains, the bursts should let the engine skip a
+	// sizeable share of total edge work.
+	if frac := float64(skipped) / float64(slow+skipped); frac < 0.35 {
+		t.Errorf("engine skipped only %.1f%% of all edges on idle_burst", 100*frac)
+	}
+}
+
+// TestIdleBurstMatchesOracle pins the synthetic workload to the
+// differential contract: descheduling its unusually long idle
+// stretches must not perturb a single byte of the result.
+func TestIdleBurstMatchesOracle(t *testing.T) {
+	diffRun(t, "idle_burst", DefaultConfig(), "idle_burst", 30000, nil)
+}

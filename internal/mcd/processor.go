@@ -27,13 +27,38 @@ type fetched struct {
 // Processor is one MCD machine instance. Create it with New, attach
 // controllers, then call Run exactly once. It is not safe for
 // concurrent use: determinism comes from single-threaded simulation.
+// Engine domain indices, fixed by registration order in New. Exec
+// domain d lives at engExecBase + int(d).
+const (
+	engFE = iota
+	engExecBase
+	_
+	_
+	engSampling
+	engFetch
+	numEngDomains
+)
+
 type Processor struct {
 	cfg Config
 
-	sched    *clock.Scheduler
+	eng      *clock.Engine
 	fe       *clock.Domain
 	exec     [isa.NumExecDomains]*clock.Domain
 	sampling *clock.Domain
+
+	// cycleStepped selects the legacy per-cycle stepping loop; the
+	// default is the event-driven core. eventMode is its runtime
+	// complement, set once when Run starts.
+	cycleStepped bool
+	eventMode    bool
+	// idleCharge holds, per engine domain, the precomputed per-edge
+	// energy increments applied while that domain is descheduled. It is
+	// refreshed on every Sleep, so it always reflects the sleep-time
+	// voltage (wakes on frequency changes keep it from going stale).
+	idleCharge [numEngDomains]power.IdleCharge
+	// check counts down clock edges to the next context poll.
+	check int
 
 	rob *rob
 	win *window
@@ -184,7 +209,7 @@ func New(cfg Config) (*Processor, error) {
 	p.sampling = clock.NewDomain(clock.DomainConfig{
 		Name: "sampling", FreqMHz: cfg.SamplingMHz, Seed: cfg.Seed + 9,
 	})
-	p.sched = clock.NewScheduler(p.fe, p.exec[0], p.exec[1], p.exec[2], p.sampling)
+	p.eng = clock.NewEngine(p.fe, p.exec[0], p.exec[1], p.exec[2], p.sampling)
 
 	syncWin := cfg.SyncWindow()
 	p.syncWin = syncWin
@@ -195,7 +220,7 @@ func New(cfg Config) (*Processor, error) {
 			Name: NameFetch, FreqMHz: cfg.Range.MaxMHz,
 			JitterPS: cfg.JitterPS, Seed: cfg.Seed + 7,
 		})
-		p.sched.Add(p.fetchDom)
+		p.eng.Add(p.fetchDom)
 	}
 	p.feQueue = queue.NewWithPolicy[fetched]("FetchQ", cfg.FetchBuf, feWin, cfg.SyncPolicy)
 	p.queues[isa.DomainInt] = queue.NewWithPolicy[*uop](NameInt, cfg.IntQSize, syncWin, cfg.SyncPolicy)
@@ -252,6 +277,18 @@ func (p *Processor) Attach(d isa.ExecDomain, c Controller) {
 // Domain exposes an execution domain's clock (for tests and tools).
 func (p *Processor) Domain(d isa.ExecDomain) *clock.Domain { return p.exec[d] }
 
+// EngineStats reports, per clock domain, how the event engine spent the
+// run: slow edges (full cycle work), skipped edges (descheduled,
+// idle-charged), sleeps, and wake causes. Deliberately not part of
+// Result — the default artifacts must stay byte-identical across cores.
+func (p *Processor) EngineStats() map[string]clock.DomainEngineStats {
+	out := make(map[string]clock.DomainEngineStats, p.eng.Len())
+	for i := 0; i < p.eng.Len(); i++ {
+		out[p.eng.Domain(i).Name()] = p.eng.Stats(i)
+	}
+	return out
+}
+
 // Run simulates the instruction source to completion and returns the
 // result. Any trace.Source works: a synthetic Generator or a replayed
 // trace.Reader. A Processor can run only once.
@@ -263,6 +300,23 @@ func (p *Processor) Run(src trace.Source) (*Result, error) {
 // checks: frequent enough that cancellation lands within microseconds
 // of wall time, rare enough that the per-edge cost is one decrement.
 const ctxCheckInterval = 1 << 16
+
+// commitTimeout is the deadlock guard: the machine must commit
+// something at least every 2 simulated milliseconds (worst-case
+// memory-bound code commits thousands of times per ms).
+const commitTimeout = 2 * clock.Millisecond
+
+// SetCycleStepped selects the legacy per-cycle stepping loop instead of
+// the event-driven core. The two cores produce bit-identical Results;
+// the cycle-stepped loop is retained as the oracle for differential
+// testing (and as a fallback while reading the event core's wake
+// conditions). Must be called before Run.
+func (p *Processor) SetCycleStepped(on bool) {
+	if p.ran {
+		panic("mcd: SetCycleStepped after Run")
+	}
+	p.cycleStepped = on
+}
 
 // RunContext is Run with cancellation: the simulation aborts with
 // ctx.Err() (context.Canceled or context.DeadlineExceeded) shortly
@@ -277,11 +331,14 @@ func (p *Processor) RunContext(ctx context.Context, src trace.Source) (*Result, 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-
-	// Deadlock guard: the machine must commit something at least every
-	// 2 simulated milliseconds (worst-case memory-bound code commits
-	// thousands of times per ms).
-	const commitTimeout = 2 * clock.Millisecond
+	if !p.cycleStepped {
+		p.eventMode = true
+		end, err := p.runEvent(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return p.collect(end), nil
+	}
 
 	var now clock.Time
 	check := ctxCheckInterval
@@ -307,29 +364,125 @@ func (p *Processor) RunContext(ctx context.Context, src trace.Source) (*Result, 
 	return p.collect(now), nil
 }
 
-// step advances the scheduler by one clock edge and runs that domain's
-// cycle work, returning the edge time. It reports false when every
-// clock has stopped.
+// runEvent is the event-driven main loop. Every clock edge of every
+// domain is still consumed in exact arbitration order (edge times and
+// jitter draws are part of the bit-exact contract), but a descheduled
+// domain's edge skips its cycle work entirely: the engine advances the
+// clock and the precomputed idle charge replays the meter's float
+// stream. A domain runs its full cycle work again at the first edge at
+// or after its earliest wake event. It returns the end-of-simulation
+// time for collect.
+func (p *Processor) runEvent(ctx context.Context) (clock.Time, error) {
+	eng := p.eng
+	p.check = ctxCheckInterval
+	var now clock.Time
+	for {
+		idx, t := eng.Next()
+		if idx < 0 {
+			return 0, errors.New("mcd: all clocks stopped")
+		}
+		if eng.Asleep(idx) {
+			if t < eng.WakeAt(idx) {
+				if h := eng.IdleHorizon(); t < h {
+					// No slow edge can run before h: batch-drain every
+					// sleeping domain's edges below it without
+					// re-arbitrating per edge.
+					p.drainIdle(h)
+				} else {
+					eng.IdleAdvance(idx)
+					p.idleCharge[idx].Tick(t)
+					p.check--
+				}
+				if p.check <= 0 {
+					p.check = ctxCheckInterval
+					if err := ctx.Err(); err != nil {
+						return 0, err
+					}
+				}
+				continue
+			}
+			eng.WakeDue(idx)
+		}
+		eng.Advance(idx)
+		now = t
+		p.runEdge(idx, t)
+		if p.traceDone && p.rob.empty() && p.feQueue.Empty() {
+			return now, nil
+		}
+		if now-p.lastCommit > commitTimeout {
+			return 0, fmt.Errorf("mcd: no commit progress since %v (now %v): likely scheduling deadlock", p.lastCommit, now)
+		}
+		if p.check--; p.check <= 0 {
+			p.check = ctxCheckInterval
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+	}
+}
+
+// drainIdle consumes every sleeping domain's clock edges strictly
+// before the horizon h in one tight loop per domain: clock advance
+// (jitter stream included) plus the precomputed idle energy charge,
+// with none of the per-edge arbitration of the main loop. Cross-domain
+// ordering is free here — a descheduled edge touches only its own
+// domain's clock, RNG, and meter — so per-domain batching accumulates
+// the bit-identical float streams the edge-by-edge path would. The
+// drain is bounded by the context-check budget so cancellation stays
+// responsive even when the horizon is far away.
+func (p *Processor) drainIdle(h clock.Time) {
+	eng := p.eng
+	budget := p.check
+	n := 0
+	for di := 0; di < eng.Len(); di++ {
+		if !eng.Asleep(di) {
+			continue
+		}
+		d := eng.Domain(di)
+		charge := p.idleCharge[di]
+		for n < budget {
+			t := d.NextEdge()
+			if t >= h {
+				break
+			}
+			eng.IdleAdvance(di)
+			charge.Tick(t)
+			n++
+		}
+	}
+	p.check -= n
+}
+
+// step advances the engine by one clock edge and runs that domain's
+// cycle work, returning the edge time: the legacy cycle-stepped loop.
+// It reports false when every clock has stopped.
 func (p *Processor) step() (clock.Time, bool) {
-	d, now := p.sched.Step()
-	if d == nil {
+	idx, _ := p.eng.Next()
+	if idx < 0 {
 		return 0, false
 	}
-	switch d {
-	case p.fe:
-		p.frontEndCycle(now)
-	case p.fetchDom:
-		p.fetchCycle(now)
-	case p.exec[isa.DomainInt]:
-		p.execCycle(now, isa.DomainInt)
-	case p.exec[isa.DomainFP]:
-		p.execCycle(now, isa.DomainFP)
-	case p.exec[isa.DomainLS]:
-		p.execCycle(now, isa.DomainLS)
-	case p.sampling:
-		p.sampleCycle(now)
-	}
+	now := p.eng.Advance(idx)
+	p.runEdge(idx, now)
 	return now, true
+}
+
+// runEdge dispatches one consumed clock edge to its domain's cycle
+// work.
+func (p *Processor) runEdge(idx int, now clock.Time) {
+	switch idx {
+	case engFE:
+		p.frontEndCycle(now)
+	case engExecBase + int(isa.DomainInt):
+		p.execCycle(now, isa.DomainInt)
+	case engExecBase + int(isa.DomainFP):
+		p.execCycle(now, isa.DomainFP)
+	case engExecBase + int(isa.DomainLS):
+		p.execCycle(now, isa.DomainLS)
+	case engSampling:
+		p.sampleCycle(now)
+	case engFetch:
+		p.fetchCycle(now)
+	}
 }
 
 // voltageFor returns Range.VoltageFor(freq) through the single-entry
@@ -370,6 +523,114 @@ func (p *Processor) frontEndCycle(now clock.Time) {
 	v := p.feVoltage(now)
 	m.Cycle(v, act)
 	m.Leak(now, v)
+	if p.eventMode && committed+fetchedN+dispatched == 0 {
+		p.maybeSleepFE(now, v)
+	}
+}
+
+// maybeSleepFE deschedules the front-end domain after a provably idle
+// cycle. The sleep bound is the earliest time any of its three stages
+// can do work again: commit wakes when the ROB head's result lands (or
+// on any issue, if the head has not issued yet), fetch wakes per
+// fetchSleepBound, dispatch per dispatchSleepBound. Events internal to
+// the front end itself (a commit freeing ROB/LSQ/register resources, a
+// dispatch draining the fetch buffer) need no wake: they can only
+// happen on front-end edges the domain would be running anyway.
+func (p *Processor) maybeSleepFE(now clock.Time, v float64) {
+	if p.cfg.ControlFrontEnd && p.fe.InTransition(now) {
+		return // supply voltage is moving edge-to-edge
+	}
+	bound := clock.Forever
+	issueWake := false
+	if head := p.rob.peek(); head != nil {
+		if head.state == stateIssued {
+			bound = head.readyAt
+		} else {
+			issueWake = true
+		}
+	}
+	if p.fetchDom == nil {
+		fb, iw, ok := p.fetchSleepBound(now)
+		if !ok {
+			return
+		}
+		if fb < bound {
+			bound = fb
+		}
+		issueWake = issueWake || iw
+	}
+	db, ok := p.dispatchSleepBound(now)
+	if !ok {
+		return
+	}
+	if db < bound {
+		bound = db
+	}
+	if bound <= now {
+		return
+	}
+	p.idleCharge[engFE] = p.feMeter.IdleCharge(v)
+	p.eng.Sleep(engFE, bound, issueWake)
+}
+
+// fetchSleepBound returns the earliest time the fetch stage can make
+// progress again, whether an issue broadcast should also wake it, and
+// whether sleeping is safe at all. Forever means only an explicit Wake
+// (fetch-buffer drain, mispredict-state change) can make fetch runnable.
+func (p *Processor) fetchSleepBound(now clock.Time) (clock.Time, bool, bool) {
+	if b := p.blockingBranch; b != nil {
+		if b.state == stateIssued {
+			return b.readyAt, false, true // resolution time is known
+		}
+		return clock.Forever, true, true // wake when it issues
+	}
+	if p.pendingMispredict || p.traceDone {
+		return clock.Forever, false, true
+	}
+	if now < p.fetchBlocked {
+		return p.fetchBlocked, false, true
+	}
+	if p.feQueue.Full() {
+		return clock.Forever, false, true
+	}
+	// Fetch could make progress right now; running the cycle is the only
+	// safe option.
+	return 0, false, false
+}
+
+// dispatchSleepBound returns the earliest time the dispatch stage can
+// make progress again and whether sleeping is safe. It replicates
+// dispatch's hazard checks on the front entry without its side effects;
+// hazards cleared by commit (ROB, LSQ, registers) bound to Forever
+// because commit runs on this same domain.
+func (p *Processor) dispatchSleepBound(now clock.Time) (clock.Time, bool) {
+	if p.feQueue.Empty() {
+		return clock.Forever, true
+	}
+	if vis := p.feQueue.VisibleFrom(0); vis > now {
+		return vis, true
+	}
+	f, _ := p.feQueue.FrontPtr(now)
+	in := f.inst
+	if p.rob.full() {
+		return clock.Forever, true
+	}
+	dom := in.Class.Domain()
+	if dom == isa.DomainLS && p.lsqCount >= p.cfg.LSQSize {
+		return clock.Forever, true
+	}
+	if (&in).HasOutput() {
+		if (&in).IsFP() {
+			if p.physFPFree == 0 {
+				return clock.Forever, true
+			}
+		} else if p.physIntFree == 0 {
+			return clock.Forever, true
+		}
+	}
+	// The front entry is blocked (at most) by a full target queue, whose
+	// per-cycle stall accounting requires running the cycle. Don't sleep.
+	return 0, false
 }
 
 // fetchCycle is the split machine's dedicated fetch-domain cycle.
@@ -379,6 +640,19 @@ func (p *Processor) fetchCycle(now clock.Time) {
 	// The fetch domain always runs at f_max / V_max.
 	m.Cycle(p.cfg.Range.MaxV, float64(n)/float64(p.cfg.FetchWidth))
 	m.Leak(now, p.cfg.Range.MaxV)
+	if !p.eventMode {
+		return
+	}
+	if n > 0 {
+		// New fetch-buffer entries: the dispatch domain may be sleeping
+		// on an empty buffer.
+		p.eng.Wake(engFE, clock.EvQueuePush)
+		return
+	}
+	if fb, iw, ok := p.fetchSleepBound(now); ok && fb > now {
+		p.idleCharge[engFetch] = m.IdleCharge(p.cfg.Range.MaxV)
+		p.eng.Sleep(engFetch, fb, iw)
+	}
 }
 
 // commit retires completed uops in order, up to the retire width.
@@ -399,6 +673,12 @@ func (p *Processor) commit(now clock.Time) int {
 			}
 		}
 		p.inflight[u.domain]--
+		if p.eventMode && p.cfg.DeepSleep && p.inflight[u.domain] == 0 && p.queues[u.domain].Empty() {
+			// The domain just became deep-sleep eligible: its energy
+			// regime changes from idle-gated to deep-gated, so a sleeping
+			// domain must re-run one cycle to switch charge rates.
+			p.eng.Wake(engExecBase+int(u.domain), clock.EvQueueDrain)
+		}
 		if u.domain == isa.DomainLS {
 			p.lsqCount--
 			if u.inst.Class == isa.Store && p.cfg.StoreForwarding {
@@ -492,7 +772,7 @@ func (p *Processor) fetch(now clock.Time) int {
 func (p *Processor) dispatch(now clock.Time) int {
 	n := 0
 	for n < p.cfg.DecodeWidth {
-		f, ok := p.feQueue.PeekFront(now)
+		f, ok := p.feQueue.FrontPtr(now)
 		if !ok {
 			break
 		}
@@ -522,15 +802,19 @@ func (p *Processor) dispatch(now clock.Time) int {
 		}
 
 		u := p.allocUop()
-		*u = uop{
-			seq:        p.nextSeq,
-			inst:       in,
-			domain:     dom,
-			state:      stateDispatched,
-			predTaken:  f.predTaken,
-			predTarget: f.predTarget,
-			mispredict: f.mispredict,
-		}
+		// Reset every field explicitly: a struct-literal assignment of
+		// the ~100-byte uop costs a duffcopy (plus zeroing a temporary)
+		// per dispatched instruction.
+		u.seq = p.nextSeq
+		u.inst = in
+		u.domain = dom
+		u.state = stateDispatched
+		u.readyAt = 0
+		u.stallUntil = 0
+		u.predTaken = f.predTaken
+		u.predTarget = f.predTarget
+		u.mispredict = f.mispredict
+		u.hasReg = false
 		p.nextSeq++
 		u.src1 = p.producerSeq(in.Dep1, u.seq)
 		u.src2 = p.producerSeq(in.Dep2, u.seq)
@@ -552,9 +836,22 @@ func (p *Processor) dispatch(now clock.Time) int {
 		p.win.insert(u)
 		p.rob.push(u)
 		p.queues[dom].Push(now, u)
+		if p.eventMode {
+			p.eng.Wake(engExecBase+int(dom), clock.EvQueuePush)
+		}
 		if u.mispredict {
 			p.blockingBranch = u
 			p.pendingMispredict = false
+			if p.eventMode && p.fetchDom != nil {
+				// The fetch domain may be sleeping unboundedly on
+				// pendingMispredict; the gate is now the branch itself,
+				// which resolves at a knowable time.
+				p.eng.Wake(engFetch, clock.EvQueueDrain)
+			}
+		}
+		if p.eventMode && p.fetchDom != nil && p.feQueue.Full() {
+			// Removing the front entry reopens a full fetch buffer.
+			p.eng.Wake(engFetch, clock.EvQueueDrain)
 		}
 		p.feQueue.RemoveAt(0)
 		n++
@@ -667,6 +964,13 @@ func (p *Processor) execCycle(now clock.Time, dom isa.ExecDomain) {
 		}
 		meter.CycleDeepGated(v, factor)
 		meter.Leak(now, v)
+		if p.eventMode && !d.InTransition(now) {
+			// Descheduled until a dispatch pushes work (or a frequency
+			// command arrives): every skipped edge charges the deep-gated
+			// rate.
+			p.idleCharge[engExecBase+int(dom)] = meter.DeepIdleCharge(v, factor)
+			p.eng.Sleep(engExecBase+int(dom), clock.Forever, false)
+		}
 		return
 	}
 
@@ -676,11 +980,28 @@ func (p *Processor) execCycle(now clock.Time, dom isa.ExecDomain) {
 		width = units
 	}
 	issued := 0
+	// Sleep-bound tracking (event mode): bound is the earliest time any
+	// scanned entry can become issuable; issueWake marks an entry gated
+	// on a producer that has not issued yet (unknowable bound — wake on
+	// issue broadcasts); noSleep marks a state the scan cannot bound
+	// (a failed tryIssue retries — and re-touches the cache — every
+	// cycle, and a conservatively-bounded operand inside its
+	// cross-domain synchronization window re-polls every cycle).
+	bound := clock.Forever
+	issueWake := false
+	noSleep := false
 	remove := p.issueScratch[:0]
 	q := p.queues[dom]
 	for i, qn := 0, q.Len(); i < qn && issued < width; i++ {
 		u, visible := q.EntryAt(i, now)
-		if !visible || u.state != stateDispatched {
+		if !visible {
+			if vis := q.VisibleFrom(i); vis < bound {
+				bound = vis
+			}
+			continue
+		}
+		if u.state != stateDispatched {
+			noSleep = true
 			continue
 		}
 		// Readiness is monotonic within the consuming domain (readyAt
@@ -689,12 +1010,22 @@ func (p *Processor) execCycle(now clock.Time, dom isa.ExecDomain) {
 		// never looked up again, and a known not-before bound skips the
 		// uop without any lookup.
 		if u.stallUntil > now {
+			if u.stallUntil < bound {
+				bound = u.stallUntil
+			}
 			continue
 		}
 		if u.src1 != 0 {
 			ok, at := p.srcReadyAt(u.src1, dom, now)
 			if !ok {
 				u.stallUntil = at
+				if at == 0 {
+					issueWake = true
+				} else if at <= now {
+					noSleep = true
+				} else if at < bound {
+					bound = at
+				}
 				continue
 			}
 			u.src1 = 0
@@ -703,11 +1034,19 @@ func (p *Processor) execCycle(now clock.Time, dom isa.ExecDomain) {
 			ok, at := p.srcReadyAt(u.src2, dom, now)
 			if !ok {
 				u.stallUntil = at
+				if at == 0 {
+					issueWake = true
+				} else if at <= now {
+					noSleep = true
+				} else if at < bound {
+					bound = at
+				}
 				continue
 			}
 			u.src2 = 0
 		}
 		if !p.tryIssue(u, dom, now, period) {
+			noSleep = true
 			continue // no free unit for this class; try younger ops
 		}
 		issued++
@@ -716,9 +1055,17 @@ func (p *Processor) execCycle(now clock.Time, dom isa.ExecDomain) {
 	for j := len(remove) - 1; j >= 0; j-- {
 		q.RemoveAt(remove[j])
 	}
-	p.issueScratch = remove[:0]
+	if cap(remove) != cap(p.issueScratch) {
+		// append outgrew the scratch buffer: keep the larger backing.
+		// Guarded so the common no-growth case skips the write barrier.
+		p.issueScratch = remove[:0]
+	}
 	meter.Cycle(v, float64(issued)/float64(units))
 	meter.Leak(now, v)
+	if p.eventMode && issued == 0 && !noSleep && bound > now && !d.InTransition(now) {
+		p.idleCharge[engExecBase+int(dom)] = meter.IdleCharge(v)
+		p.eng.Sleep(engExecBase+int(dom), bound, issueWake)
+	}
 }
 
 // tryIssue books a functional unit and computes the uop's completion
@@ -766,6 +1113,11 @@ func (p *Processor) tryIssue(u *uop, dom isa.ExecDomain, now clock.Time, period 
 	}
 	u.state = stateIssued
 	u.readyAt = completion
+	if p.eventMode {
+		// Sleepers gated on a not-yet-issued producer now have a bound:
+		// no operand of this uop can exist before its completion.
+		p.eng.BroadcastIssue(completion)
+	}
 	return true
 }
 
@@ -784,6 +1136,14 @@ func (p *Processor) sampleCycle(now clock.Time) {
 			target, change := c.Observe(now, seen, d.FreqMHz(now))
 			if a := p.actuators[dom]; a != nil {
 				target, change = a.Filter(now, target, change)
+				if p.eventMode {
+					if due, pending := a.PendingDue(); pending {
+						// Regulator latency as a single scheduled event:
+						// the domain need not be awake before the
+						// deferred command can land.
+						p.eng.Schedule(due, clock.EvActuation, engExecBase+dom)
+					}
+				}
 			}
 			if change {
 				before := d.Transitions()
@@ -793,6 +1153,13 @@ func (p *Processor) sampleCycle(now clock.Time) {
 					// because the capacitors are small; charged here
 					// when the ablation enables it).
 					p.execMeters[dom].AddJ(cost)
+				}
+				if p.eventMode {
+					// A sleeping domain's precomputed idle charge assumes
+					// a fixed voltage; a frequency transition invalidates
+					// it, so the domain re-runs slow edges until the
+					// transition completes.
+					p.eng.Wake(engExecBase+dom, clock.EvFreqChange)
 				}
 			}
 		}
@@ -809,9 +1176,17 @@ func (p *Processor) sampleCycle(now clock.Time) {
 			target, change := p.feController.Observe(now, seen, p.fe.FreqMHz(now))
 			if a := p.feActuator; a != nil {
 				target, change = a.Filter(now, target, change)
+				if p.eventMode {
+					if due, pending := a.PendingDue(); pending {
+						p.eng.Schedule(due, clock.EvActuation, engFE)
+					}
+				}
 			}
 			if change {
 				p.fe.SetTarget(now, p.cfg.Range.Quantize(target))
+				if p.eventMode {
+					p.eng.Wake(engFE, clock.EvFreqChange)
+				}
 			}
 		}
 	}

@@ -103,7 +103,11 @@ func (r *rob) push(u *uop) {
 	if r.full() {
 		panic("mcd: ROB overflow")
 	}
-	r.entries[(r.head+r.count)%len(r.entries)] = u
+	i := r.head + r.count
+	if n := len(r.entries); i >= n { // head+count < 2n always holds
+		i -= n
+	}
+	r.entries[i] = u
 	r.count++
 }
 
@@ -120,7 +124,9 @@ func (r *rob) pop() *uop {
 		panic("mcd: ROB underflow")
 	}
 	r.entries[r.head] = nil
-	r.head = (r.head + 1) % len(r.entries)
+	if r.head++; r.head == len(r.entries) {
+		r.head = 0
+	}
 	r.count--
 	return u
 }

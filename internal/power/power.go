@@ -123,6 +123,66 @@ func (m *Meter) CycleDeepGated(v, factor float64) {
 	m.cycles++
 }
 
+// IdleCharge is the precomputed per-cycle energy effect of a domain
+// that is doing no work at a fixed supply voltage: the event engine's
+// fast path for descheduled domains. Tick(now) is bit-identical to the
+// slow path's Cycle(v, 0)+Leak(now, v) (or CycleDeepGated+Leak for a
+// deep-gated domain): the dynamic increment and the leakage-per-second
+// product are precomputed with the exact expression shapes the slow
+// path evaluates, so replaying N idle cycles through Tick accumulates
+// the identical float64 stream. An idle cycle's activity term
+// (actSum += 0) is skipped: adding +0 to a non-negative sum is a
+// bitwise no-op.
+//
+// The charge is only valid while the voltage is fixed; recompute it
+// after any frequency/voltage transition.
+type IdleCharge struct {
+	m   *Meter
+	dyn float64 // per-cycle dynamic increment at the idle activity
+	lv  float64 // leakage watts at v: multiplied by dt per cycle
+}
+
+// IdleCharge prepares the fast-path charge equivalent to
+// Cycle(v, 0)+Leak(now, v) per tick.
+func (m *Meter) IdleCharge(v float64) IdleCharge {
+	g := m.model.GatedFraction
+	eff := g + (1-g)*0
+	return IdleCharge{
+		m:   m,
+		dyn: m.model.SwitchedCapF * v * v * eff,
+		lv:  m.model.LeakagePerV * v,
+	}
+}
+
+// DeepIdleCharge prepares the fast-path charge equivalent to
+// CycleDeepGated(v, factor)+Leak(now, v) per tick.
+func (m *Meter) DeepIdleCharge(v, factor float64) IdleCharge {
+	if factor < 0 {
+		factor = 0
+	} else if factor > 1 {
+		factor = 1
+	}
+	return IdleCharge{
+		m:   m,
+		dyn: m.model.SwitchedCapF * v * v * factor,
+		lv:  m.model.LeakagePerV * v,
+	}
+}
+
+// Tick charges one descheduled cycle at time now.
+func (c IdleCharge) Tick(now clock.Time) {
+	m := c.m
+	m.dynamicJ += c.dyn
+	m.cycles++
+	if now <= m.lastLeak {
+		m.lastLeak = now
+		return
+	}
+	dt := (now - m.lastLeak).Seconds()
+	m.leakageJ += c.lv * dt
+	m.lastLeak = now
+}
+
 // Leak integrates leakage from the last leakage timestamp to now at
 // supply voltage v. Call it whenever the voltage changes and at the end
 // of simulation.

@@ -197,3 +197,44 @@ func TestCycleDeepGated(t *testing.T) {
 		t.Errorf("cycles = %d, want 2", m2.Cycles())
 	}
 }
+
+// TestIdleChargeBitIdenticalToSlowPath is the fast path's contract:
+// ticking an IdleCharge must accumulate the exact float64 stream of the
+// per-cycle slow path, bit for bit, across arbitrary models, voltages,
+// and (jittered, irregular) edge times.
+func TestIdleChargeBitIdenticalToSlowPath(t *testing.T) {
+	f := func(capPJ, gated, leak, v uint16, deep bool, steps []uint8) bool {
+		model := DomainModel{
+			Name:          "x",
+			SwitchedCapF:  (1 + float64(capPJ)) * 1e-12,
+			GatedFraction: float64(gated) / 65535,
+			LeakagePerV:   float64(leak) * 1e-3,
+		}
+		volt := 0.6 + float64(v)/65535
+		slow := NewMeter(model)
+		fast := NewMeter(model)
+		charge := fast.IdleCharge(volt)
+		factor := 0.02
+		if deep {
+			charge = fast.DeepIdleCharge(volt, factor)
+		}
+		now := clock.Time(0)
+		for _, s := range steps {
+			now += clock.Time(s) * clock.Picosecond // jittered spacing; 0 steps exercise the now<=lastLeak guard
+			if deep {
+				slow.CycleDeepGated(volt, factor)
+			} else {
+				slow.Cycle(volt, 0)
+			}
+			slow.Leak(now, volt)
+			charge.Tick(now)
+		}
+		return math.Float64bits(slow.DynamicJ()) == math.Float64bits(fast.DynamicJ()) &&
+			math.Float64bits(slow.LeakageJ()) == math.Float64bits(fast.LeakageJ()) &&
+			slow.Cycles() == fast.Cycles() &&
+			math.Float64bits(slow.MeanActivity()) == math.Float64bits(fast.MeanActivity())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -190,6 +190,11 @@ func (q *Queue[T]) EntryAt(i int, now clock.Time) (T, bool) {
 	return q.buf[s], true
 }
 
+// VisibleFrom returns the time at which the entry at index i becomes
+// visible to the consumer: the wake bound an event-driven consumer
+// sleeps on when the entry is still inside its synchronization window.
+func (q *Queue[T]) VisibleFrom(i int) clock.Time { return q.visible[q.slot(i)] }
+
 // RemoveAt deletes the entry at index i, preserving order. It shifts
 // whichever side of the ring is shorter; removing the front entry (the
 // dispatch hot path) moves nothing.
@@ -252,6 +257,17 @@ func (q *Queue[T]) PeekFront(now clock.Time) (v T, ok bool) {
 		return v, false
 	}
 	return q.buf[q.head], true
+}
+
+// FrontPtr returns a pointer to the oldest entry when it is visible at
+// time now: the copy-free variant of PeekFront for hot paths with large
+// element types. The pointer aims into the ring and is invalidated by
+// any queue mutation; callers must finish reading before mutating.
+func (q *Queue[T]) FrontPtr(now clock.Time) (*T, bool) {
+	if q.count == 0 || q.visible[q.head] > now {
+		return nil, false
+	}
+	return &q.buf[q.head], true
 }
 
 // PopFront removes and returns the oldest visible entry, if any.

@@ -14,7 +14,14 @@ type Sampler struct {
 // but not stored, keeping long simulations bounded in memory while the
 // controllers still run off live values.
 func NewSampler(limit int) *Sampler {
-	return &Sampler{limit: limit}
+	// Pre-size the series so steady sampling does not pay repeated
+	// append regrowth copies; bounded so an unlimited sampler stays
+	// cheap to construct.
+	cap0 := 4096
+	if limit > 0 && limit < cap0 {
+		cap0 = limit
+	}
+	return &Sampler{limit: limit, samples: make([]float64, 0, cap0)}
 }
 
 // Record appends one occupancy observation.

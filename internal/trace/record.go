@@ -136,13 +136,31 @@ func (p *Replayer) Name() string { return p.rec.name }
 // Remaining returns how many instructions the cursor will still emit.
 func (p *Replayer) Remaining() int64 { return p.rec.Len() - p.i }
 
-// Next implements Source.
+// Next implements Source. The decode is At's, open-coded: Next runs
+// once per simulated instruction, and keeping the column loads in one
+// frame lets the compiler fold the five bounds checks into the single
+// length test.
 func (p *Replayer) Next() (isa.Inst, bool) {
-	if p.i >= p.rec.Len() {
+	rec := p.rec
+	i := p.i
+	if i >= int64(len(rec.meta)) {
 		return isa.Inst{}, false
 	}
-	in := p.rec.At(p.i)
-	p.i++
+	p.i = i + 1
+	m := rec.meta[i]
+	in := isa.Inst{
+		PC:    rec.pc[i],
+		Class: isa.Class(m &^ takenBit),
+		Dep1:  rec.dep1[i],
+		Dep2:  rec.dep2[i],
+	}
+	switch in.Class {
+	case isa.Branch:
+		in.Target = rec.extra[i]
+		in.Taken = m&takenBit != 0
+	case isa.Load, isa.Store:
+		in.Addr = rec.extra[i]
+	}
 	return in, true
 }
 

@@ -403,3 +403,36 @@ func TestValidateMoreBranches(t *testing.T) {
 		t.Error("zero code size accepted")
 	}
 }
+
+// TestSyntheticRegistryIsSideLoaded pins the side-registry contract:
+// synthetic diagnostics resolve by name and validate like any profile,
+// but never leak into Names/Profiles — the default experiment matrix
+// (and its cached artifacts) must not change when a diagnostic
+// workload is added.
+func TestSyntheticRegistryIsSideLoaded(t *testing.T) {
+	if len(Synthetic()) == 0 {
+		t.Fatal("no synthetic profiles registered")
+	}
+	for _, p := range Synthetic() {
+		if p.Suite != SuiteSynthetic {
+			t.Errorf("synthetic profile %q carries suite %q", p.Name, p.Suite)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("synthetic profile %q invalid: %v", p.Name, err)
+		}
+		got, err := ByName(p.Name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", p.Name, err)
+		} else if got.Name != p.Name {
+			t.Errorf("ByName(%q) returned %q", p.Name, got.Name)
+		}
+		for _, name := range Names() {
+			if name == p.Name {
+				t.Errorf("synthetic profile %q leaked into Names()", p.Name)
+			}
+		}
+	}
+	if got := BySuite(SuiteSynthetic); len(got) != len(Synthetic()) {
+		t.Errorf("BySuite(synthetic) returned %d profiles, want %d", len(got), len(Synthetic()))
+	}
+}
