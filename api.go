@@ -311,6 +311,40 @@ func NewMatrixContext(ctx context.Context, opt Options) (*Matrix, error) {
 	return experiment.RunMatrixContext(ctx, opt)
 }
 
+// ArtifactInfo describes one renderable artifact of the paper's
+// evaluation (a table, figure, or extension report).
+type ArtifactInfo = experiment.ArtifactInfo
+
+// ArtifactFormat selects an artifact encoding: FormatText, FormatJSON
+// or FormatSVG.
+type ArtifactFormat = experiment.ArtifactFormat
+
+// Artifact encodings. SVG is available only for artifacts whose
+// ArtifactInfo.SVG flag is set.
+const (
+	FormatText = experiment.FormatText
+	FormatJSON = experiment.FormatJSON
+	FormatSVG  = experiment.FormatSVG
+)
+
+// Artifacts lists every renderable artifact in catalog order — the
+// same catalog cmd/mcdserve serves over HTTP.
+func Artifacts() []ArtifactInfo { return experiment.Artifacts() }
+
+// RenderArtifact renders one artifact by catalog ID into the given
+// format, returning the encoded bytes and their MIME content type.
+// The bytes are deterministic: byte-identical across runs, processes,
+// and cache states for the same id, format, and options.
+func RenderArtifact(id string, format ArtifactFormat, opt Options) ([]byte, string, error) {
+	return experiment.RenderArtifactContext(context.Background(), id, format, opt)
+}
+
+// RenderArtifactContext is RenderArtifact with cancellation; the
+// returned error wraps the usual taxonomy sentinels.
+func RenderArtifactContext(ctx context.Context, id string, format ArtifactFormat, opt Options) ([]byte, string, error) {
+	return experiment.RenderArtifactContext(ctx, id, format, opt)
+}
+
 // FaultSweep measures how gracefully each control scheme degrades as
 // control-loop faults intensify (see experiment.FaultSweep). Passing
 // nil benchmarks or intensities selects the defaults.

@@ -29,13 +29,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
-	"syscall"
 
 	"mcddvfs"
+	"mcddvfs/internal/cliflags"
 	"mcddvfs/internal/experiment"
 	"mcddvfs/internal/profiling"
 )
@@ -65,17 +64,18 @@ func main() {
 		faultsSpec = flag.String("faults", "", `run the robustness artifact at these comma-separated fault intensities in [0,1] (e.g. "0,0.5,1"; "default" = 0,0.25,0.5,0.75,1)`)
 		schemesCSV = flag.String("schemes", "",
 			`restrict the benchmark × scheme sweeps to this comma-separated subset of registered schemes (e.g. "adaptive,pid-adaptive"; "" = the paper's core comparison: `+strings.Join(controlledSchemeNames(), ", ")+`)`)
-		timeout = flag.Duration("timeout", 0, "per-simulation deadline (0 = none)")
+		timeout       = cliflags.Timeout(flag.CommandLine, 0)
+		cacheDir      = cliflags.CacheDir(flag.CommandLine, "results/.cache")
+		cacheMaxBytes = cliflags.CacheMaxBytes(flag.CommandLine)
+		grace         = cliflags.ShutdownGrace(flag.CommandLine, 0)
 
-		useCache      = flag.Bool("cache", true, "memoize simulation results across artifacts (identical output, fewer simulations)")
-		cacheDir      = flag.String("cache-dir", "results/.cache", `persist simulation results here across runs ("" = in-memory only; ignored with -cache=false)`)
-		cacheMaxBytes = flag.Int64("cache-max-bytes", 0, "size cap for -cache-dir before LRU eviction (0 = 2 GiB default)")
-		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile    = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		useCache   = flag.Bool("cache", true, "memoize simulation results across artifacts (identical output, fewer simulations)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliflags.GraceNotifyContext(context.Background(), *grace)
 	defer stop()
 
 	experiment.SetCaching(*useCache)

@@ -1,0 +1,90 @@
+// Command mcdserve runs the DVFS-evaluation service: an HTTP/JSON
+// facade over the experiment harness with admission control, a
+// circuit-broken disk-cache tier, cross-request single-flight, and
+// graceful drain. See docs/SERVICE.md for the API.
+//
+// Usage:
+//
+//	mcdserve -addr :8344 -cache-dir results/.cache
+//
+// Send SIGINT/SIGTERM to drain: the listener closes, in-flight renders
+// get -shutdown-grace to finish, then remaining work is cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mcddvfs/internal/cliflags"
+	"mcddvfs/internal/serve"
+)
+
+func main() {
+	var (
+		addr             = flag.String("addr", "127.0.0.1:8344", "listen address")
+		workers          = flag.Int("workers", 4, "concurrent renders")
+		queueDepth       = flag.Int("queue-depth", 16, "renders allowed to wait behind the workers before 429 shedding")
+		maxTimeout       = flag.Duration("max-timeout", 10*time.Minute, "clamp on client-requested timeout_ms")
+		breakerThreshold = flag.Int("breaker-threshold", 3, "consecutive disk-cache I/O failures that open the circuit breaker")
+		breakerCooldown  = flag.Duration("breaker-cooldown", 10*time.Second, "how long the breaker stays open before probing the disk cache again")
+		chaos            = flag.Bool("chaos", false, "mount POST /debugz/cache-faults (fault injection under the live cache; test use only)")
+
+		timeout       = cliflags.Timeout(flag.CommandLine, 2*time.Minute)
+		cacheDir      = cliflags.CacheDir(flag.CommandLine, "results/.cache")
+		cacheMaxBytes = cliflags.CacheMaxBytes(flag.CommandLine)
+		grace         = cliflags.ShutdownGrace(flag.CommandLine, 15*time.Second)
+	)
+	flag.Parse()
+
+	srv, err := serve.New(serve.Config{
+		CacheDir:         *cacheDir,
+		CacheMaxBytes:    *cacheMaxBytes,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		EnableChaos:      *chaos,
+		Logf:             log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("mcdserve: %v", err)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("mcdserve: listening on %s (cache %q, %d workers, queue %d)", *addr, *cacheDir, *workers, *queueDepth)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("mcdserve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	log.Printf("mcdserve: signal received, draining (grace %v)", *grace)
+	shCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		log.Printf("mcdserve: listener shutdown: %v", err)
+	}
+	if err := srv.Shutdown(shCtx); err != nil {
+		if errors.Is(err, serve.ErrForcedDrain) {
+			log.Printf("mcdserve: %v", err)
+			os.Exit(1)
+		}
+		log.Fatalf("mcdserve: %v", err)
+	}
+	log.Printf("mcdserve: drained cleanly")
+}

@@ -14,12 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"sort"
 	"strings"
-	"syscall"
 
 	"mcddvfs"
+	"mcddvfs/internal/cliflags"
 	"mcddvfs/internal/dvfs"
 	"mcddvfs/internal/experiment"
 	"mcddvfs/internal/faults"
@@ -41,8 +40,11 @@ func main() {
 		compare = flag.Bool("compare", false, "also run the no-DVFS baseline and print savings")
 
 		faultLvl = flag.Float64("faults", 0, "control-loop fault intensity in [0,1] (0 = no injection)")
-		timeout  = flag.Duration("timeout", 0, "simulation deadline (0 = none)")
-		cacheDir = flag.String("cache-dir", "", `persist simulation results here across runs ("" = off)`)
+
+		timeout       = cliflags.Timeout(flag.CommandLine, 0)
+		cacheDir      = cliflags.CacheDir(flag.CommandLine, "")
+		cacheMaxBytes = cliflags.CacheMaxBytes(flag.CommandLine)
+		grace         = cliflags.ShutdownGrace(flag.CommandLine, 0)
 
 		split     = flag.Bool("split", false, "use the 5-domain (split front end) partition")
 		prefetch  = flag.Bool("prefetch", false, "enable the next-line L1D prefetcher")
@@ -55,7 +57,7 @@ func main() {
 	)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliflags.GraceNotifyContext(context.Background(), *grace)
 	defer stop()
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
@@ -91,7 +93,7 @@ func main() {
 		machine.Transitions = dvfs.TransmetaTransitions()
 	}
 	machine.Faults = faults.Intensity(*faultLvl, *seed)
-	opt := experiment.Options{Instructions: *insts, Seed: *seed, Machine: &machine, Timeout: *timeout, CacheDir: *cacheDir}
+	opt := experiment.Options{Instructions: *insts, Seed: *seed, Machine: &machine, Timeout: *timeout, CacheDir: *cacheDir, CacheMaxBytes: *cacheMaxBytes}
 	res, err := experiment.RunOneContext(ctx, *bench, experiment.Scheme(*scheme), opt)
 	if err != nil {
 		exitErr(err)

@@ -1,0 +1,81 @@
+// Package cliflags registers the flags every mcddvfs command shares —
+// -timeout, -cache-dir, -cache-max-bytes, -shutdown-grace — from one
+// place, so their names, units, and usage strings cannot drift apart
+// across cmd/experiments, cmd/mcdsim, and cmd/mcdserve (they had:
+// three subtly different -cache-dir usage strings before this package
+// existed). Per-command defaults stay with the command; the contract
+// (name + meaning) lives here.
+package cliflags
+
+import (
+	"context"
+	"flag"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Timeout registers -timeout: the per-run deadline.
+func Timeout(fs *flag.FlagSet, def time.Duration) *time.Duration {
+	return fs.Duration("timeout", def, "per-run deadline (0 = none)")
+}
+
+// CacheDir registers -cache-dir: the persistent result cache location.
+func CacheDir(fs *flag.FlagSet, def string) *string {
+	return fs.String("cache-dir", def, `persist simulation results here across runs ("" = in-memory only)`)
+}
+
+// CacheMaxBytes registers -cache-max-bytes: the disk-cache size cap.
+func CacheMaxBytes(fs *flag.FlagSet) *int64 {
+	return fs.Int64("cache-max-bytes", 0, "size cap for -cache-dir before LRU eviction (0 = 2 GiB default)")
+}
+
+// ShutdownGrace registers -shutdown-grace: how long in-flight work may
+// keep running after the first SIGINT/SIGTERM before it is cancelled.
+func ShutdownGrace(fs *flag.FlagSet, def time.Duration) *time.Duration {
+	return fs.Duration("shutdown-grace", def, "after SIGINT/SIGTERM, let in-flight work finish for this long before cancelling (0 = cancel immediately; a second signal always cancels now)")
+}
+
+// GraceNotifyContext is signal.NotifyContext with a -shutdown-grace
+// budget: on the first SIGINT/SIGTERM the returned context stays alive
+// for up to grace so in-flight work can finish, then cancels; a second
+// signal — or grace <= 0 — cancels immediately, preserving the old
+// first-signal-cancels behavior. stop releases the signal registration
+// and cancels the context.
+func GraceNotifyContext(parent context.Context, grace time.Duration) (ctx context.Context, stop context.CancelFunc) {
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	ctx, cancel := graceContext(parent, grace, sigCh)
+	return ctx, func() {
+		signal.Stop(sigCh)
+		cancel()
+	}
+}
+
+// graceContext is the testable core of GraceNotifyContext: sigCh
+// stands in for the process signal stream.
+func graceContext(parent context.Context, grace time.Duration, sigCh <-chan os.Signal) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	go func() {
+		select {
+		case <-ctx.Done():
+			return
+		case <-sigCh:
+		}
+		if grace <= 0 {
+			cancel()
+			return
+		}
+		t := time.NewTimer(grace)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+		case <-sigCh:
+			cancel()
+		case <-t.C:
+			cancel()
+		}
+	}()
+	return ctx, cancel
+}

@@ -1,0 +1,103 @@
+package cliflags
+
+import (
+	"context"
+	"flag"
+	"io"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestSharedFlagsRegisterConsistently locks the shared contract: every
+// command registering through this package gets identical flag names
+// and usage strings, with only the default under command control.
+func TestSharedFlagsRegisterConsistently(t *testing.T) {
+	a := flag.NewFlagSet("a", flag.ContinueOnError)
+	b := flag.NewFlagSet("b", flag.ContinueOnError)
+	Timeout(a, 0)
+	Timeout(b, 2*time.Minute)
+	CacheDir(a, "results/.cache")
+	CacheDir(b, "")
+	CacheMaxBytes(a)
+	CacheMaxBytes(b)
+	ShutdownGrace(a, 0)
+	ShutdownGrace(b, 15*time.Second)
+	for _, name := range []string{"timeout", "cache-dir", "cache-max-bytes", "shutdown-grace"} {
+		fa, fb := a.Lookup(name), b.Lookup(name)
+		if fa == nil || fb == nil {
+			t.Fatalf("flag -%s not registered on both sets", name)
+		}
+		if fa.Usage != fb.Usage {
+			t.Errorf("-%s usage drifted between commands:\n  a: %s\n  b: %s", name, fa.Usage, fb.Usage)
+		}
+	}
+	if a.Lookup("timeout").DefValue == b.Lookup("timeout").DefValue {
+		t.Error("per-command defaults should be independent")
+	}
+}
+
+// TestFlagsParse exercises the registered flags end to end.
+func TestFlagsParse(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	timeout := Timeout(fs, 0)
+	dir := CacheDir(fs, "d")
+	max := CacheMaxBytes(fs)
+	grace := ShutdownGrace(fs, 0)
+	err := fs.Parse([]string{"-timeout", "30s", "-cache-dir", "/tmp/c", "-cache-max-bytes", "1024", "-shutdown-grace", "5s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *timeout != 30*time.Second || *dir != "/tmp/c" || *max != 1024 || *grace != 5*time.Second {
+		t.Fatalf("parsed %v %q %d %v", *timeout, *dir, *max, *grace)
+	}
+}
+
+// TestGraceContextImmediateWithoutGrace preserves the historical
+// behavior: grace <= 0 means the first signal cancels at once.
+func TestGraceContextImmediateWithoutGrace(t *testing.T) {
+	sig := make(chan os.Signal, 1)
+	ctx, cancel := graceContext(context.Background(), 0, sig)
+	defer cancel()
+	sig <- os.Interrupt
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("context not cancelled on first signal with zero grace")
+	}
+}
+
+// TestGraceContextHoldsThenCancels asserts the grace window: the first
+// signal does not cancel, the budget expiring does.
+func TestGraceContextHoldsThenCancels(t *testing.T) {
+	sig := make(chan os.Signal, 2)
+	ctx, cancel := graceContext(context.Background(), 50*time.Millisecond, sig)
+	defer cancel()
+	sig <- os.Interrupt
+	select {
+	case <-ctx.Done():
+		t.Fatal("context cancelled immediately despite grace budget")
+	case <-time.After(10 * time.Millisecond):
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("context not cancelled after the grace budget expired")
+	}
+}
+
+// TestGraceContextSecondSignalForces asserts a second signal cuts the
+// grace window short.
+func TestGraceContextSecondSignalForces(t *testing.T) {
+	sig := make(chan os.Signal, 2)
+	ctx, cancel := graceContext(context.Background(), time.Hour, sig)
+	defer cancel()
+	sig <- os.Interrupt
+	sig <- os.Interrupt
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("second signal did not force cancellation")
+	}
+}

@@ -22,6 +22,13 @@
 //     LRU order, approximated by file modification time (Get touches
 //     entries it serves). Eviction is never an error — an evicted
 //     entry is just a future cache miss.
+//   - Transient I/O failures (a flaky network mount, a briefly-full
+//     disk): Put retries temp-file creation, writes, and the publishing
+//     rename a bounded number of times with exponential backoff before
+//     giving up, so a single EIO does not silently drop an entry. Real
+//     I/O failures (as opposed to misses and self-healed corruption)
+//     are counted in Stats and reported to an optional observer — the
+//     hook a circuit breaker latches onto (see internal/serve).
 //
 // Values are encoded with encoding/gob: binary-exact for float64 (the
 // harness's dominant payload is occupancy sample series) and several
@@ -83,6 +90,13 @@ const DefaultMaxBytes = 2 << 30
 // per write would turn the cache into an O(n²) proposition.
 const gcEvery = 64
 
+// Put retry defaults: a transient write/rename failure is retried
+// twice more (5 ms then 10 ms apart) before the entry is dropped.
+const (
+	defaultRetryAttempts = 3
+	defaultRetryBackoff  = 5 * time.Millisecond
+)
+
 // Stats counts store traffic since Open.
 type Stats struct {
 	Hits      uint64
@@ -91,7 +105,24 @@ type Stats struct {
 	Corrupt   uint64 // checksum/decode failures (self-healed)
 	Stale     uint64 // version mismatches (self-healed)
 	Evictions uint64
+	// ReadErrors counts Gets that failed on real I/O (not misses, not
+	// self-healed corruption): the disk, not the data, misbehaved.
+	ReadErrors uint64
+	// WriteErrors counts Puts that still failed after every retry.
+	WriteErrors uint64
+	// Retries counts Put attempts beyond the first.
+	Retries uint64
 }
+
+// Op labels the store operation an observer callback reports on.
+type Op string
+
+// Observable operations.
+const (
+	OpGet Op = "get"
+	OpPut Op = "put"
+	OpGC  Op = "gc"
+)
 
 // Store is one cache directory. It is safe for concurrent use by
 // multiple goroutines, and safe (atomic, last-writer-wins) across
@@ -100,9 +131,15 @@ type Store struct {
 	dir      string
 	maxBytes int64
 
-	mu       sync.Mutex // guards stats and the GC cadence counter
-	stats    Stats
-	sincePut int
+	fsMu sync.RWMutex // guards fsys (swappable for fault injection)
+	fsys FS
+
+	mu            sync.Mutex // guards stats, the GC cadence counter, retry policy, observer
+	stats         Stats
+	sincePut      int
+	retryAttempts int
+	retryBackoff  time.Duration
+	observer      func(Op, error)
 }
 
 // Open creates (if needed) and returns the store rooted at dir.
@@ -110,16 +147,28 @@ type Store struct {
 // DefaultMaxBytes. An initial GC pass bounds a directory inherited
 // from earlier runs.
 func Open(dir string, maxBytes int64) (*Store, error) {
+	return OpenFS(dir, maxBytes, OSFS{})
+}
+
+// OpenFS is Open with an explicit filesystem — the seam fault-injection
+// tests and chaos tooling use to fail I/O underneath a real store.
+func OpenFS(dir string, maxBytes int64, fsys FS) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("diskcache: empty directory")
 	}
 	if maxBytes <= 0 {
 		maxBytes = DefaultMaxBytes
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("diskcache: creating %s: %w", dir, err)
 	}
-	s := &Store{dir: dir, maxBytes: maxBytes}
+	s := &Store{
+		dir: dir, maxBytes: maxBytes, fsys: fsys,
+		retryAttempts: defaultRetryAttempts, retryBackoff: defaultRetryBackoff,
+	}
 	if _, err := s.GC(); err != nil {
 		return nil, err
 	}
@@ -134,6 +183,62 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// fs returns the store's current filesystem.
+func (s *Store) fs() FS {
+	s.fsMu.RLock()
+	defer s.fsMu.RUnlock()
+	return s.fsys
+}
+
+// SetFS swaps the store's filesystem. Chaos tooling uses it to slide a
+// FaultFS under a store that is already serving traffic; in-flight
+// operations finish on the filesystem they started with.
+func (s *Store) SetFS(fsys FS) {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	s.fsMu.Lock()
+	s.fsys = fsys
+	s.fsMu.Unlock()
+}
+
+// SetRetry adjusts Put's bounded retry policy: attempts is the total
+// number of tries (minimum 1), backoff the first inter-try sleep
+// (doubled each further try). Tests shrink it; servers can widen it.
+func (s *Store) SetRetry(attempts int, backoff time.Duration) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if backoff < 0 {
+		backoff = 0
+	}
+	s.mu.Lock()
+	s.retryAttempts = attempts
+	s.retryBackoff = backoff
+	s.mu.Unlock()
+}
+
+// SetObserver registers fn to be told the outcome of every disk-backed
+// operation: err is nil on success (hits, publishes, healthy misses)
+// and non-nil on real I/O failure. Exactly the signal a circuit
+// breaker needs; fn runs synchronously on the calling goroutine and
+// must be cheap and safe for concurrent use.
+func (s *Store) SetObserver(fn func(Op, error)) {
+	s.mu.Lock()
+	s.observer = fn
+	s.mu.Unlock()
+}
+
+// observe reports an operation outcome to the registered observer.
+func (s *Store) observe(op Op, err error) {
+	s.mu.Lock()
+	fn := s.observer
+	s.mu.Unlock()
+	if fn != nil {
+		fn(op, err)
+	}
 }
 
 func (s *Store) path(key [sha256.Size]byte) string {
@@ -157,8 +262,8 @@ var blobPool = sync.Pool{New: func() any { b := make([]byte, 0, 64<<10); return 
 
 // readEntry reads the file into a pooled buffer. The returned release
 // func recycles the buffer; the blob must not be used after calling it.
-func readEntry(path string) (blob []byte, release func(), err error) {
-	f, err := os.Open(path)
+func readEntry(fsys FS, path string) (blob []byte, release func(), err error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -187,35 +292,45 @@ func readEntry(path string) (blob []byte, release func(), err error) {
 // On success the entry's mtime is refreshed so LRU eviction sees the
 // use.
 func (s *Store) Get(key [sha256.Size]byte, v any) error {
+	fsys := s.fs()
 	path := s.path(key)
-	blob, release, err := readEntry(path)
+	blob, release, err := readEntry(fsys, path)
 	if errors.Is(err, fs.ErrNotExist) {
+		// A miss is a healthy disk answering honestly; observers see it
+		// as a success signal.
 		s.count(func(st *Stats) { st.Misses++ })
+		s.observe(OpGet, nil)
 		return fmt.Errorf("%w: %s", ErrMiss, hex.EncodeToString(key[:8]))
 	}
 	if err != nil {
-		s.count(func(st *Stats) { st.Misses++ })
+		s.count(func(st *Stats) { st.Misses++; st.ReadErrors++ })
+		s.observe(OpGet, err)
 		return fmt.Errorf("%w: reading %s: %v", ErrCorrupt, path, err)
 	}
 	defer release()
 	payload, err := decodeEntry(blob)
 	if err != nil {
-		os.Remove(path) //nolint:errcheck // best-effort self-heal
+		fsys.Remove(path) //nolint:errcheck // best-effort self-heal
 		if errors.Is(err, ErrVersionMismatch) {
 			s.count(func(st *Stats) { st.Stale++; st.Misses++ })
 		} else {
 			s.count(func(st *Stats) { st.Corrupt++; st.Misses++ })
 		}
+		// Bit rot and stale versions self-heal; the I/O path worked, so
+		// the observer sees success — a breaker must not trip on them.
+		s.observe(OpGet, nil)
 		return err
 	}
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
-		os.Remove(path) //nolint:errcheck // best-effort self-heal
+		fsys.Remove(path) //nolint:errcheck // best-effort self-heal
 		s.count(func(st *Stats) { st.Corrupt++; st.Misses++ })
+		s.observe(OpGet, nil)
 		return fmt.Errorf("%w: decoding %s: %v", ErrCorrupt, path, err)
 	}
 	now := time.Now()
-	os.Chtimes(path, now, now) //nolint:errcheck // LRU hint only
+	fsys.Chtimes(path, now, now) //nolint:errcheck // LRU hint only
 	s.count(func(st *Stats) { st.Hits++ })
+	s.observe(OpGet, nil)
 	return nil
 }
 
@@ -247,10 +362,15 @@ func decodeEntry(blob []byte) ([]byte, error) {
 // Put encodes v and atomically publishes it as the entry for key:
 // the payload goes to a unique temp file in the store directory and is
 // renamed into place, so a concurrent Get sees either the old complete
-// entry or the new complete entry, never a torn one.
+// entry or the new complete entry, never a torn one. Transient I/O
+// failures anywhere on that path (temp creation, writes, the rename)
+// are retried with exponential backoff per SetRetry before Put gives
+// up — a brief disk hiccup must not silently drop the entry.
 func (s *Store) Put(key [sha256.Size]byte, v any) error {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		// An unencodable value is the caller's bug, not disk weather:
+		// no retry, no observer signal.
 		return fmt.Errorf("diskcache: encoding entry: %w", err)
 	}
 	var header [headerSize]byte
@@ -260,23 +380,26 @@ func (s *Store) Put(key [sha256.Size]byte, v any) error {
 	copy(header[8:8+sha256.Size], sum[:])
 	binary.LittleEndian.PutUint64(header[8+sha256.Size:], uint64(payload.Len()))
 
-	tmp, err := os.CreateTemp(s.dir, tmpPattern)
+	s.mu.Lock()
+	attempts, backoff := s.retryAttempts, s.retryBackoff
+	s.mu.Unlock()
+
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			s.count(func(st *Stats) { st.Retries++ })
+			time.Sleep(backoff << (attempt - 1))
+		}
+		if err = s.writeEntry(key, header[:], payload.Bytes()); err == nil {
+			break
+		}
+	}
 	if err != nil {
-		return fmt.Errorf("diskcache: temp file: %w", err)
-	}
-	defer os.Remove(tmp.Name()) //nolint:errcheck // no-op after successful rename
-	if _, err := tmp.Write(header[:]); err == nil {
-		_, err = tmp.Write(payload.Bytes())
-	}
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return fmt.Errorf("diskcache: writing entry: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		s.count(func(st *Stats) { st.WriteErrors++ })
+		s.observe(OpPut, err)
 		return fmt.Errorf("diskcache: publishing entry: %w", err)
 	}
+	s.observe(OpPut, nil)
 
 	s.mu.Lock()
 	s.stats.Writes++
@@ -288,10 +411,39 @@ func (s *Store) Put(key [sha256.Size]byte, v any) error {
 	s.mu.Unlock()
 	if runGC {
 		// Concurrent GC passes are safe (removals tolerate ENOENT);
-		// the cadence counter just keeps them rare.
-		if _, err := s.GC(); err != nil {
-			return err
+		// the cadence counter just keeps them rare. A GC failure is not
+		// a Put failure — the entry is already published — so it only
+		// reaches the observer.
+		if _, gcErr := s.GC(); gcErr != nil {
+			s.observe(OpGC, gcErr)
 		}
+	}
+	return nil
+}
+
+// writeEntry is one attempt at the temp-write-rename publish. Any
+// failure removes the temp file (best effort) so a retried or
+// abandoned attempt never leaves a partial entry behind.
+func (s *Store) writeEntry(key [sha256.Size]byte, header, payload []byte) error {
+	fsys := s.fs()
+	tmp, err := fsys.CreateTemp(s.dir, tmpPattern)
+	if err != nil {
+		return fmt.Errorf("temp file: %w", err)
+	}
+	name := tmp.Name()
+	if _, err = tmp.Write(header); err == nil {
+		_, err = tmp.Write(payload)
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fsys.Remove(name) //nolint:errcheck // best-effort cleanup of a failed attempt
+		return fmt.Errorf("writing entry: %w", err)
+	}
+	if err := fsys.Rename(name, s.path(key)); err != nil {
+		fsys.Remove(name) //nolint:errcheck // best-effort cleanup of a failed attempt
+		return fmt.Errorf("renaming entry: %w", err)
 	}
 	return nil
 }
@@ -300,7 +452,8 @@ func (s *Store) Put(key [sha256.Size]byte, v any) error {
 // (oldest mtime first) until the directory's entry total fits. It also
 // sweeps abandoned temp files. Returns how many entries it evicted.
 func (s *Store) GC() (evicted int, err error) {
-	dents, err := os.ReadDir(s.dir)
+	fsys := s.fs()
+	dents, err := fsys.ReadDir(s.dir)
 	if err != nil {
 		return 0, fmt.Errorf("diskcache: scanning %s: %w", s.dir, err)
 	}
@@ -326,7 +479,7 @@ func (s *Store) GC() (evicted int, err error) {
 			// A live writer's temp file is seconds old; anything older
 			// was abandoned by a crashed process.
 			if time.Since(info.ModTime()) > time.Hour {
-				os.Remove(filepath.Join(s.dir, name)) //nolint:errcheck // best-effort sweep
+				fsys.Remove(filepath.Join(s.dir, name)) //nolint:errcheck // best-effort sweep
 			}
 			continue
 		}
@@ -349,7 +502,7 @@ func (s *Store) GC() (evicted int, err error) {
 		if total <= s.maxBytes {
 			break
 		}
-		if rmErr := os.Remove(e.path); rmErr != nil && !errors.Is(rmErr, fs.ErrNotExist) {
+		if rmErr := fsys.Remove(e.path); rmErr != nil && !errors.Is(rmErr, fs.ErrNotExist) {
 			continue // another process beat us or the file is busy; skip
 		}
 		total -= e.size
@@ -359,4 +512,43 @@ func (s *Store) GC() (evicted int, err error) {
 		s.count(func(st *Stats) { st.Evictions += uint64(evicted) })
 	}
 	return evicted, nil
+}
+
+// Verify scans dir and validates every published entry end to end
+// (magic, version, length, checksum), returning how many entries it
+// checked. It is the chaos-test and post-crash audit tool: after a
+// storm of injected faults, a clean Verify proves the atomic-publish
+// and retry machinery let nothing torn or truncated reach an entry
+// slot. Temp files are reported as an error only alongside `strict`,
+// since a live writer legitimately owns one for a few milliseconds.
+func Verify(dir string, strict bool) (checked int, err error) {
+	dents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("diskcache: verifying %s: %w", dir, err)
+	}
+	for _, de := range dents {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		if matched, _ := filepath.Match(tmpPattern, name); matched {
+			if strict {
+				return checked, fmt.Errorf("diskcache: verifying %s: leftover temp file %s", dir, name)
+			}
+			continue
+		}
+		if filepath.Ext(name) != entrySuffix {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		blob, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return checked, fmt.Errorf("diskcache: verifying %s: %w", path, rerr)
+		}
+		if _, derr := decodeEntry(blob); derr != nil {
+			return checked, fmt.Errorf("diskcache: verifying %s: %w", path, derr)
+		}
+		checked++
+	}
+	return checked, nil
 }

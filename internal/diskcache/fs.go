@@ -1,0 +1,283 @@
+package diskcache
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+	"time"
+)
+
+// FS abstracts the filesystem operations the store performs, so tests
+// and chaos tooling can inject transient I/O failures underneath a
+// real Store without touching the on-disk layout. The default is the
+// process filesystem (OSFS); FaultFS wraps any FS with deterministic
+// failure injection.
+type FS interface {
+	Open(name string) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Chtimes(name string, atime, mtime time.Time) error
+	MkdirAll(path string, perm fs.FileMode) error
+}
+
+// File is the slice of *os.File the store uses.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Name() string
+	Stat() (fs.FileInfo, error)
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// Open opens name for reading.
+func (OSFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// CreateTemp creates a unique temp file in dir.
+func (OSFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Rename renames (moves) oldpath to newpath.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove removes the named file.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// ReadDir reads the named directory.
+func (OSFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+// Chtimes changes the access and modification times of the named file.
+func (OSFS) Chtimes(name string, atime, mtime time.Time) error {
+	return os.Chtimes(name, atime, mtime)
+}
+
+// MkdirAll creates the named directory and any missing parents.
+func (OSFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+// ErrInjected marks an I/O failure synthesized by FaultFS. Tests and
+// chaos probes match it with errors.Is to tell injected faults from
+// real ones.
+var ErrInjected = errors.New("diskcache: injected I/O fault")
+
+// The operation names FaultFS can be armed against.
+const (
+	FaultOpen       = "open"
+	FaultCreateTemp = "createtemp"
+	FaultWrite      = "write"
+	FaultRename     = "rename"
+	FaultRemove     = "remove"
+	FaultReadDir    = "readdir"
+	FaultChtimes    = "chtimes"
+	FaultMkdirAll   = "mkdirall"
+)
+
+// faultMode selects how an armed FaultFS decides which operations fail.
+type faultMode int
+
+const (
+	faultOff   faultMode = iota
+	faultAll             // every armed op fails until Heal
+	faultNext            // the next N armed ops fail, then auto-heal
+	faultEvery           // every k-th armed op fails until Heal
+)
+
+// FaultFS wraps an FS with deterministic failure injection: arm it
+// against a set of operations and it synthesizes ErrInjected-wrapped
+// errors by simple counting (no randomness), so a failing test replays
+// exactly. The zero set of armed operations passes everything through.
+// It is safe for concurrent use.
+type FaultFS struct {
+	base FS
+
+	mu        sync.Mutex
+	mode      faultMode
+	armed     map[string]bool
+	remaining int    // faultNext budget
+	every     int    // faultEvery period
+	seen      int    // armed ops observed in faultEvery mode
+	injected  uint64 // total faults synthesized
+}
+
+// NewFaultFS wraps base (nil = OSFS) with injection disabled.
+func NewFaultFS(base FS) *FaultFS {
+	if base == nil {
+		base = OSFS{}
+	}
+	return &FaultFS{base: base, armed: map[string]bool{}}
+}
+
+// Fail arms the listed operations (default: all write-path ops) to
+// fail on every call until Heal.
+func (f *FaultFS) Fail(ops ...string) { f.arm(faultAll, 0, ops) }
+
+// FailNext arms the listed operations to fail the next n calls, then
+// auto-heals.
+func (f *FaultFS) FailNext(n int, ops ...string) { f.arm(faultNext, n, ops) }
+
+// FailEvery arms the listed operations so every k-th call fails (k=1
+// behaves like Fail) until Heal — the chaos-storm setting: a stream of
+// operations sees a deterministic sprinkle of faults.
+func (f *FaultFS) FailEvery(k int, ops ...string) { f.arm(faultEvery, k, ops) }
+
+// Heal disarms all injection.
+func (f *FaultFS) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.mode = faultOff
+	f.armed = map[string]bool{}
+	f.seen = 0
+}
+
+// Injected reports how many faults have been synthesized since
+// construction.
+func (f *FaultFS) Injected() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Failing reports whether any operation is currently armed.
+func (f *FaultFS) Failing() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mode != faultOff
+}
+
+func (f *FaultFS) arm(mode faultMode, n int, ops []string) {
+	if len(ops) == 0 {
+		ops = []string{FaultCreateTemp, FaultWrite, FaultRename}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.mode = mode
+	f.armed = make(map[string]bool, len(ops))
+	for _, op := range ops {
+		f.armed[op] = true
+	}
+	f.remaining = n
+	f.every = n
+	f.seen = 0
+}
+
+// inject returns a synthetic error when op is armed and the current
+// mode elects this call to fail, nil otherwise.
+func (f *FaultFS) inject(op, name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.mode == faultOff || !f.armed[op] {
+		return nil
+	}
+	fail := false
+	switch f.mode {
+	case faultAll:
+		fail = true
+	case faultNext:
+		if f.remaining > 0 {
+			f.remaining--
+			fail = true
+		}
+		if f.remaining == 0 {
+			f.mode = faultOff
+		}
+	case faultEvery:
+		f.seen++
+		fail = f.every > 0 && f.seen%f.every == 0
+	}
+	if !fail {
+		return nil
+	}
+	f.injected++
+	return fmt.Errorf("%w: %s %s", ErrInjected, op, name)
+}
+
+// Open implements FS.
+func (f *FaultFS) Open(name string) (File, error) {
+	if err := f.inject(FaultOpen, name); err != nil {
+		return nil, err
+	}
+	return f.base.Open(name)
+}
+
+// CreateTemp implements FS. The returned file shares the wrapper's
+// injection state, so armed write faults hit mid-stream too.
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.inject(FaultCreateTemp, dir); err != nil {
+		return nil, err
+	}
+	file, err := f.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.inject(FaultRename, newpath); err != nil {
+		return err
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	if err := f.inject(FaultRemove, name); err != nil {
+		return err
+	}
+	return f.base.Remove(name)
+}
+
+// ReadDir implements FS.
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := f.inject(FaultReadDir, name); err != nil {
+		return nil, err
+	}
+	return f.base.ReadDir(name)
+}
+
+// Chtimes implements FS.
+func (f *FaultFS) Chtimes(name string, atime, mtime time.Time) error {
+	if err := f.inject(FaultChtimes, name); err != nil {
+		return err
+	}
+	return f.base.Chtimes(name, atime, mtime)
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	if err := f.inject(FaultMkdirAll, path); err != nil {
+		return err
+	}
+	return f.base.MkdirAll(path, perm)
+}
+
+// faultFile injects write faults into an open temp file.
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err := f.fs.inject(FaultWrite, f.Name()); err != nil {
+		return 0, err
+	}
+	return f.File.Write(p)
+}

@@ -102,18 +102,38 @@ func diskStore(opt Options) *diskcache.Store {
 	if opt.CacheDir == "" {
 		return nil
 	}
+	s, _ := DiskStore(opt.CacheDir, opt.CacheMaxBytes)
+	return s
+}
+
+// DiskStore returns the process-wide store for dir, opening it on
+// first use with the given size budget (later calls reuse the first
+// store regardless of maxBytes). Every harness run with
+// Options.CacheDir == dir goes through the returned store, so an
+// operator attaching an observer or swapping the FS (chaos injection,
+// circuit breaking in internal/serve) sees exactly the traffic the
+// runs generate. The error reports an unusable directory; such a
+// directory is cached as nil, and runs against it silently degrade to
+// uncached simulation.
+func DiskStore(dir string, maxBytes int64) (*diskcache.Store, error) {
+	if dir == "" {
+		return nil, invalidSpec(fmt.Errorf("experiment: DiskStore: empty cache directory"))
+	}
 	diskStores.mu.Lock()
 	defer diskStores.mu.Unlock()
-	if s, ok := diskStores.stores[opt.CacheDir]; ok {
-		return s
+	if s, ok := diskStores.stores[dir]; ok {
+		if s == nil {
+			return nil, diskStores.openErr
+		}
+		return s, nil
 	}
-	s, err := diskcache.Open(opt.CacheDir, opt.CacheMaxBytes)
+	s, err := diskcache.Open(dir, maxBytes)
 	if err != nil {
 		s = nil
 		diskStores.openErr = err
 	}
-	diskStores.stores[opt.CacheDir] = s
-	return s
+	diskStores.stores[dir] = s
+	return s, err
 }
 
 // DiskCacheStats aggregates traffic over every store this process
@@ -134,6 +154,9 @@ func DiskCacheStats() (diskcache.Stats, error) {
 		total.Corrupt += st.Corrupt
 		total.Stale += st.Stale
 		total.Evictions += st.Evictions
+		total.ReadErrors += st.ReadErrors
+		total.WriteErrors += st.WriteErrors
+		total.Retries += st.Retries
 	}
 	return total, diskStores.openErr
 }

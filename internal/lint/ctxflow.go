@@ -9,8 +9,9 @@ import (
 
 // CtxFlow locks in the experiment harness's cancellation contract
 // (introduced with the fault-injection PR): work started by the
-// harness must be cancellable end to end. Three rules, applied to
-// every function in internal/experiment:
+// harness must be cancellable end to end. Four rules, applied to
+// every function in the harness packages (internal/experiment and,
+// since the service PR, internal/serve):
 //
 //  1. spawn: a function that starts goroutines must accept a
 //     context.Context — fire-and-forget work cannot be cancelled;
@@ -22,6 +23,12 @@ import (
 //     the context — either polling it or passing it to the callee.
 //     Loops that only shuffle data (builtins, index math) are exempt:
 //     they terminate promptly and have nothing to cancel.
+//  4. handlers: an HTTP handler — a function taking an
+//     http.ResponseWriter and a named *http.Request — that calls
+//     context-accepting work must derive that context from the
+//     request: r.Context() must appear, so a dropped connection
+//     cancels the work it started. Naming the request parameter "_"
+//     signals deliberate disuse (health probes, static catalogs).
 var CtxFlow = &analysis.Analyzer{
 	Name: "ctxflow",
 	Doc:  "requires harness functions to accept, propagate, and poll context.Context",
@@ -39,6 +46,7 @@ func runCtxFlow(pass *analysis.Pass) error {
 				continue
 			}
 			checkFunc(pass, fn)
+			checkHandler(pass, fn)
 		}
 	}
 	return nil
@@ -69,6 +77,113 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 				"loop in %s calls into work without polling or propagating its context; check ctx.Err() or pass ctx to the callee", fn.Name.Name)
 		}
 	}
+}
+
+// checkHandler enforces rule 4: a handler that hands work to anything
+// context-aware must derive that context from the request, so a
+// dropped connection cancels the work it started.
+func checkHandler(pass *analysis.Pass, fn *ast.FuncDecl) {
+	req := handlerRequestParam(pass, fn)
+	if req == "" {
+		return
+	}
+	if !callsContextualWork(pass, fn.Body) {
+		return
+	}
+	if !callsRequestContext(fn.Body, req) {
+		pass.Reportf(fn.Name.Pos(),
+			"%s handles an *http.Request and calls context-aware work but never calls %s.Context(); derive the work context from the request", fn.Name.Name, req)
+	}
+}
+
+// handlerRequestParam returns the name of fn's *http.Request parameter
+// when fn is shaped like an HTTP handler (it also takes an
+// http.ResponseWriter), or "" otherwise. A blank request name opts the
+// handler out, mirroring how contextParams treats "_".
+func handlerRequestParam(pass *analysis.Pass, fn *ast.FuncDecl) string {
+	if fn.Type.Params == nil {
+		return ""
+	}
+	hasWriter := false
+	reqName := ""
+	for _, field := range fn.Type.Params.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		switch types.TypeString(t, nil) {
+		case "net/http.ResponseWriter":
+			hasWriter = true
+		case "*net/http.Request":
+			for _, name := range field.Names {
+				if name.Name != "_" {
+					reqName = name.Name
+				}
+			}
+		}
+	}
+	if !hasWriter {
+		return ""
+	}
+	return reqName
+}
+
+// callsContextualWork reports whether body calls any function whose
+// signature accepts a context.Context — the work rule 4 requires to be
+// request-scoped. Handlers that only shuffle bytes (decode a body,
+// write a static catalog) have nothing to scope and pass untouched.
+func callsContextualWork(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(call.Fun)
+		if t == nil {
+			return true
+		}
+		sig, ok := t.Underlying().(*types.Signature)
+		if !ok {
+			return true
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if types.TypeString(sig.Params().At(i).Type(), nil) == "context.Context" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// callsRequestContext reports whether body contains a req.Context()
+// call for the named request parameter.
+func callsRequestContext(body *ast.BlockStmt, req string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == req && sel.Sel.Name == "Context" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 // contextParams returns the names of fn's context.Context parameters

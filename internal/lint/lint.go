@@ -50,8 +50,9 @@ var simPackages = []string{
 var renderPackages = append([]string{"internal/experiment"}, simPackages...)
 
 // harnessPackages are where the cancellation and error-taxonomy
-// contracts live.
-var harnessPackages = []string{"internal/experiment"}
+// contracts live: the experiment harness and the HTTP service that
+// fronts it.
+var harnessPackages = []string{"internal/experiment", "internal/serve"}
 
 // inScope reports whether an import path matches one of the scope
 // suffixes ("internal/mcd" matches both "mcddvfs/internal/mcd" and the

@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+)
+
+// render stands in for the harness entry point: context-aware work the
+// handlers below hand off to.
+func render(ctx context.Context, id string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return []byte(id), nil
+}
+
+// HandleDetached starts context-aware work from a background context,
+// so a dropped connection can never cancel it.
+func HandleDetached(w http.ResponseWriter, r *http.Request) { // want ctxflow `never calls r\.Context\(\)`
+	body, err := render(context.Background(), r.URL.Path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Write(body) //nolint:errcheck
+}
+
+// HandleRender scopes the work to the request: compliant.
+func HandleRender(w http.ResponseWriter, r *http.Request) {
+	body, err := render(r.Context(), r.URL.Path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Write(body) //nolint:errcheck
+}
+
+// HandleStatic serves a canned payload; the blank request name records
+// that nothing here is request-scoped.
+func HandleStatic(w http.ResponseWriter, _ *http.Request) {
+	w.Write([]byte("ok")) //nolint:errcheck
+}
+
+// HandleEcho reads the request but starts no cancellable work, so rule
+// 4 leaves it alone.
+func HandleEcho(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte(r.URL.Path)) //nolint:errcheck
+}

@@ -1,0 +1,34 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverloaded mirrors the real service taxonomy sentinel.
+var ErrOverloaded = errors.New("service overloaded")
+
+// Admit exercises the boundary-error shapes at the service edge.
+func Admit(queued int) error {
+	switch {
+	case queued < 0:
+		return errors.New("negative queue depth") // want errtaxonomy `raw errors.New`
+	case queued > 1<<16:
+		return fmt.Errorf("serve: queue depth %d too large", queued) // want errtaxonomy `without %w`
+	case queued > 1<<10:
+		return fmt.Errorf("%w: %d queued", ErrOverloaded, queued) // ok: wraps the sentinel
+	}
+	return nil
+}
+
+// Shed propagates an error built by a helper: trusted.
+func Shed(queued int) error {
+	if queued > 0 {
+		return overloaded(queued)
+	}
+	return nil
+}
+
+func overloaded(queued int) error {
+	return fmt.Errorf("%w: %d queued", ErrOverloaded, queued)
+}

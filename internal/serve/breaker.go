@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"mcddvfs/internal/diskcache"
+)
+
+// The circuit breaker's states, in the order the breaker walks them.
+const (
+	// BreakerClosed: the disk cache is healthy and every run uses it.
+	BreakerClosed = "closed"
+	// BreakerOpen: repeated I/O failures; runs skip the disk tier and
+	// serve from the in-process cache plus fresh simulation until the
+	// cooldown elapses.
+	BreakerOpen = "open"
+	// BreakerHalfOpen: the cooldown elapsed; exactly one run probes the
+	// disk tier. Success closes the breaker, failure reopens it.
+	BreakerHalfOpen = "half-open"
+)
+
+// breaker is a consecutive-failure circuit breaker over the disk-cache
+// tier. It is fed by the diskcache observer (record) and consulted
+// before each run (allow); misses and self-healed corruption count as
+// successes there, so only genuine I/O failure — the disk going away —
+// trips it. Trip math is deterministic: threshold consecutive failures
+// open it, one cooldown later a single probe is let through.
+//
+// Failures are counted per operation stream (get/put/gc), because the
+// streams interleave: a cold cache answers every read with a healthy
+// miss, and if those successes reset one shared counter, a disk that
+// fails every single write never accumulates two consecutive failures.
+// A success only vouches for its own path.
+type breaker struct {
+	mu        sync.Mutex
+	state     string
+	failures  map[diskcache.Op]int // consecutive failures per op while closed
+	threshold int                  // failures on one stream that open the breaker
+	cooldown  time.Duration        // open → half-open delay
+	openedAt  time.Time
+	probing   bool // a half-open probe is in flight
+	trips     uint64
+	now       func() time.Time // injectable for tests
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{
+		state:     BreakerClosed,
+		failures:  make(map[diskcache.Op]int),
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+	}
+}
+
+// allow reports whether the next run may use the disk tier. In the
+// half-open state only the first caller per probe window gets true;
+// everyone else stays memory-only until the probe's outcome arrives.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// record feeds one disk-tier outcome (nil = success) into the breaker.
+// It is the diskcache observer target, so it must never call back into
+// the store.
+func (b *breaker) record(op diskcache.Op, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if err == nil {
+			b.failures[op] = 0
+			return
+		}
+		b.failures[op]++
+		if b.failures[op] >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.trips++
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if err == nil {
+			b.state = BreakerClosed
+			b.failures = make(map[diskcache.Op]int)
+			return
+		}
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.trips++
+	case BreakerOpen:
+		// Late results from runs admitted before the trip; the breaker
+		// is already open, nothing to update.
+	}
+}
+
+// snapshot returns the current state name and lifetime trip count.
+func (b *breaker) snapshot() (state string, trips uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips
+}

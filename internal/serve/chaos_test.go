@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mcddvfs/internal/diskcache"
+)
+
+// TestChaosLoad is the tentpole's proof obligation: thousands of
+// concurrent mixed hot/cold requests through the full stack while a
+// chaos goroutine injects filesystem faults under the live disk cache,
+// asserting
+//
+//   - zero corrupted artifacts: every 200 body for a spec is
+//     byte-identical to every other, and the cache directory verifies
+//     clean afterwards;
+//   - every non-200 carries the stable error schema with a known code;
+//   - bounded latency: no request outlives its deadline by more than
+//     the grace the harness needs to unwind;
+//   - clean drain within the shutdown budget;
+//   - zero goroutine leaks once the dust settles.
+func TestChaosLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos load test is not -short")
+	}
+	baseline := runtime.NumGoroutine()
+
+	dir := t.TempDir()
+	cfg := Config{
+		CacheDir:         dir,
+		Workers:          8,
+		QueueDepth:       4096, // no shedding in this test: every request must resolve
+		DefaultTimeout:   2 * time.Minute,
+		MaxTimeout:       2 * time.Minute,
+		BreakerThreshold: 3,
+		BreakerCooldown:  5 * time.Millisecond,
+		EnableChaos:      true,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	// The spec pool: a few hot specs (pre-warmed, most traffic) and a
+	// tail of cold ones. Everything is tiny so the matrix stays fast.
+	var pool []RenderRequest
+	for seed := int64(1); seed <= 3; seed++ {
+		pool = append(pool, tinySpec(seed, "txt"))
+	}
+	pool = append(pool, tinySpec(1, "json"), tinySpec(1, "svg"))
+	for seed := int64(10); seed < 22; seed++ {
+		spec := tinySpec(seed, "txt")
+		if seed%3 == 0 {
+			spec.Artifact = "fig10"
+		}
+		pool = append(pool, spec)
+	}
+
+	// Pre-warm the hot subset through the service itself.
+	client := ts.Client()
+	client.Timeout = 3 * time.Minute
+	doPost := func(spec RenderRequest) (*http.Response, error) {
+		blob, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return client.Post(ts.URL+"/api/v1/render", "application/json", bytes.NewReader(blob))
+	}
+	for i := 0; i < 5; i++ {
+		resp, err := doPost(pool[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b := readBody(t, resp); resp.StatusCode != 200 {
+			t.Fatalf("pre-warm %d: %d %s", i, resp.StatusCode, b)
+		}
+	}
+
+	// Chaos: a deterministic sprinkle of write/read faults toggled
+	// while the load runs.
+	chaosDone := make(chan struct{})
+	chaosStop := make(chan struct{})
+	go func() {
+		defer close(chaosDone)
+		post := func(body string) {
+			resp, err := client.Post(ts.URL+"/debugz/cache-faults", "application/json", strings.NewReader(body))
+			if err != nil {
+				return // server shutting down
+			}
+			resp.Body.Close()
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-chaosStop:
+				post(`{"mode":"heal"}`)
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			if i%2 == 0 {
+				post(`{"mode":"fail-every","n":3,"ops":["open","createtemp","write","rename"]}`)
+			} else {
+				post(`{"mode":"heal"}`)
+			}
+		}
+	}()
+
+	const totalRequests = 1200
+	type outcome struct {
+		spec    int
+		status  int
+		code    string
+		body    []byte
+		elapsed time.Duration
+	}
+	results := make(chan outcome, totalRequests)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 256) // bound sockets, keep heavy concurrency
+	for i := 0; i < totalRequests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			// ~80% of traffic hits the hot subset, the rest the tail.
+			var idx int
+			if i%5 != 4 {
+				idx = i % 5
+			} else {
+				idx = 5 + i%(len(pool)-5)
+			}
+			start := time.Now()
+			resp, err := doPost(pool[idx])
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			if _, err := buf.ReadFrom(resp.Body); err != nil {
+				t.Errorf("request %d: reading body: %v", i, err)
+				return
+			}
+			o := outcome{spec: idx, status: resp.StatusCode, body: buf.Bytes(), elapsed: time.Since(start)}
+			if o.status != 200 {
+				var eb errorBody
+				if err := json.Unmarshal(o.body, &eb); err != nil {
+					t.Errorf("request %d: non-200 without error schema: %d %s", i, o.status, o.body)
+					return
+				}
+				o.code = eb.Error.Code
+			}
+			results <- o
+		}(i)
+	}
+	wg.Wait()
+	close(results)
+	close(chaosStop)
+	<-chaosDone
+
+	// Zero corrupted artifacts: all 200 bodies for one spec identical.
+	reference := make(map[int][]byte)
+	counts := map[string]int{}
+	var maxLatency time.Duration
+	n := 0
+	for o := range results {
+		n++
+		if o.elapsed > maxLatency {
+			maxLatency = o.elapsed
+		}
+		if o.status != 200 {
+			counts[o.code]++
+			switch o.code {
+			case CodeOverloaded, CodeCancelled, CodeRunTimeout:
+				// Legal under chaos; corruption or internal are not.
+			default:
+				t.Errorf("unexpected error code %q (status %d)", o.code, o.status)
+			}
+			continue
+		}
+		counts["ok"]++
+		if ref, seen := reference[o.spec]; !seen {
+			reference[o.spec] = o.body
+		} else if !bytes.Equal(ref, o.body) {
+			t.Errorf("spec %d: two 200 responses differ — corrupted artifact", o.spec)
+		}
+	}
+	if n != totalRequests {
+		t.Fatalf("collected %d outcomes, want %d", n, totalRequests)
+	}
+	if counts["ok"] < totalRequests*9/10 {
+		t.Errorf("only %d/%d requests succeeded under chaos: %v", counts["ok"], totalRequests, counts)
+	}
+	t.Logf("chaos outcomes: %v, max latency %v, breaker %v", counts, maxLatency, func() string { st, tr := s.breaker.snapshot(); return fmt.Sprintf("%s/%d trips", st, tr) }())
+
+	// Drain within budget.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := s.Shutdown(drainCtx); err != nil {
+		t.Fatalf("drain not clean: %v", err)
+	}
+	t.Logf("drained in %v", time.Since(start))
+	ts.Close()
+
+	// The cache directory survived the storm: every entry complete,
+	// no orphaned temp files.
+	if _, err := diskcache.Verify(dir, true); err != nil {
+		t.Errorf("cache damaged by chaos: %v", err)
+	}
+
+	// Zero goroutine leaks once everything settles.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= baseline+4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: %d running, baseline %d\n%s", runtime.NumGoroutine(), baseline, buf)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

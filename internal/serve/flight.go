@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent renders of the same spec across
+// requests: the first request for a content-addressed key becomes the
+// leader and runs the work on a context detached from its own request
+// (the server's base context bounded by the leader's deadline); every
+// later request for the same key attaches as a follower and shares the
+// outcome. A follower that disconnects just detaches; the work is
+// cancelled only when the last interested request has gone. Flights
+// are removed the moment they complete — errors are never memoized, so
+// a transient failure (timeout, shed) cannot poison later requests.
+type flightGroup struct {
+	wg      *sync.WaitGroup // the server's in-flight accounting
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+type flight struct {
+	done    chan struct{}
+	cancel  context.CancelFunc
+	workCtx context.Context
+	waiters int
+
+	// Written by the leader goroutine before close(done); read only
+	// after <-done.
+	body  []byte
+	ctype string
+	err   error
+}
+
+func newFlightGroup(wg *sync.WaitGroup) *flightGroup {
+	return &flightGroup{wg: wg, flights: make(map[string]*flight)}
+}
+
+// do returns the render for key, either by starting the work (leader)
+// or by attaching to an identical in-progress render (follower).
+// guard runs under the group lock before a new flight is created — the
+// server uses it to refuse flight creation once draining, atomically
+// with Shutdown's barrier, so the WaitGroup never goes 0→1 during
+// Wait. start builds the detached work context; run performs the
+// render. The returned bool reports leadership; the returned context
+// is the work context the result was produced under (for error
+// classification). When reqCtx ends first, do returns its error and
+// the work keeps running for any remaining waiters.
+func (g *flightGroup) do(
+	reqCtx context.Context,
+	key string,
+	guard func() error,
+	start func() (context.Context, context.CancelFunc),
+	run func(ctx context.Context) ([]byte, string, error),
+) ([]byte, string, context.Context, bool, error) {
+	g.mu.Lock()
+	f, ok := g.flights[key]
+	if !ok {
+		if err := guard(); err != nil {
+			g.mu.Unlock()
+			return nil, "", nil, false, err
+		}
+		workCtx, cancel := start()
+		f = &flight{done: make(chan struct{}), cancel: cancel, workCtx: workCtx}
+		g.flights[key] = f
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			f.body, f.ctype, f.err = run(f.workCtx)
+			g.mu.Lock()
+			delete(g.flights, key)
+			g.mu.Unlock()
+			f.cancel()
+			close(f.done)
+		}()
+	}
+	f.waiters++
+	g.mu.Unlock()
+
+	leader := !ok
+	select {
+	case <-f.done:
+		return f.body, f.ctype, f.workCtx, leader, f.err
+	case <-reqCtx.Done():
+		g.mu.Lock()
+		f.waiters--
+		abandoned := f.waiters == 0
+		g.mu.Unlock()
+		if abandoned {
+			// Nobody is listening anymore; stop burning CPU. The
+			// goroutine still completes and unregisters the flight.
+			f.cancel()
+		}
+		return nil, "", f.workCtx, leader, reqCtx.Err()
+	}
+}
+
+// barrier runs fn under the group lock, ordering it against flight
+// creation: after barrier returns, every subsequent do observes fn's
+// effects before deciding to create a flight.
+func (g *flightGroup) barrier(fn func()) {
+	g.mu.Lock()
+	fn()
+	g.mu.Unlock()
+}
+
+// size reports how many distinct renders are in progress.
+func (g *flightGroup) size() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.flights)
+}
