@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench bench-compare bench-baseline
+.PHONY: build test race lint lint-budget bench bench-compare bench-baseline
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,27 @@ race:
 
 # lint = the standard toolchain vet plus the repo's own invariant
 # suite (docs/LINTING.md): determinism of the simulator and artifact
-# rendering, cancellation flow, and the harness error taxonomy.
+# rendering (including the whole-program dettaint/cachekey analyzers),
+# cancellation flow, and the harness error taxonomy.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/mcdlint ./...
+
+# lint-budget is what CI runs: the same checks, timed, with a 60s
+# ceiling on the mcdlint pass. The interprocedural analyzers build a
+# whole-program call graph; this gate keeps that from quietly growing
+# into a multi-minute CI tax. The timing is echoed so the job log
+# tracks the trend.
+lint-budget:
+	$(GO) vet ./...
+	$(GO) build -o /tmp/mcdlint-ci ./cmd/mcdlint
+	@start=$$(date +%s); \
+	/tmp/mcdlint-ci ./... || exit $$?; \
+	end=$$(date +%s); elapsed=$$((end - start)); \
+	echo "mcdlint wall time: $${elapsed}s (budget 60s)"; \
+	if [ $$elapsed -ge 60 ]; then \
+		echo "mcdlint exceeded its 60s wall-time budget" >&2; exit 1; \
+	fi
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkRunMatrix' -benchtime 1x -benchmem .

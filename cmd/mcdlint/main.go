@@ -3,14 +3,22 @@
 //
 // Usage:
 //
-//	mcdlint [-run detrange,ctxflow] [-list] [packages]
+//	mcdlint [-run detrange,ctxflow] [-list] [-json] [packages]
 //
 // Packages default to ./... relative to the working directory. The
 // exit status is 0 when the tree is clean, 1 when any diagnostic is
 // reported, and 2 when the packages cannot be loaded.
+//
+// With -json, diagnostics are emitted as a JSON array of objects
+// {file, line, col, analyzer, message, allow_reason} — one per
+// finding, including findings waived by a //lint:allow directive
+// (those carry the directive's reason in allow_reason) so CI can
+// annotate pull requests with both. The exit-code contract is
+// unchanged: only unwaived diagnostics make the run exit 1.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,10 +34,21 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// jsonDiagnostic is the machine-readable form of one finding.
+type jsonDiagnostic struct {
+	File        string `json:"file"`
+	Line        int    `json:"line"`
+	Col         int    `json:"col"`
+	Analyzer    string `json:"analyzer"`
+	Message     string `json:"message"`
+	AllowReason string `json:"allow_reason,omitempty"`
+}
+
 func run(args []string) int {
 	fs := flag.NewFlagSet("mcdlint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit diagnostics as JSON (including //lint:allow-waived ones)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -49,6 +68,9 @@ func run(args []string) int {
 		for _, a := range analyzers {
 			byName[a.Name] = true
 		}
+		// The directive validator is selectable too, so CI can audit
+		// //lint:allow hygiene in isolation.
+		byName["lintdirective"] = true
 		for _, name := range strings.Split(*only, ",") {
 			name = strings.TrimSpace(name)
 			if !byName[name] {
@@ -83,21 +105,50 @@ func run(args []string) int {
 		}
 		diags = kept
 	}
-	if len(diags) == 0 {
-		return 0
-	}
+	active := analysis.Active(diags)
 
 	cwd, _ := os.Getwd()
 	fset := pkgs[0].Fset
-	for _, d := range diags {
-		pos := fset.Position(d.Pos)
-		name := pos.Filename
+	relName := func(name string) string {
 		if cwd != "" {
 			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
+				return rel
 			}
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+		return name
+	}
+
+	if *asJSON {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			out = append(out, jsonDiagnostic{
+				File:        relName(pos.Filename),
+				Line:        pos.Line,
+				Col:         pos.Column,
+				Analyzer:    d.Analyzer,
+				Message:     d.Message,
+				AllowReason: d.AllowReason,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "mcdlint: %v\n", err)
+			return 2
+		}
+		if len(active) == 0 {
+			return 0
+		}
+		return 1
+	}
+
+	if len(active) == 0 {
+		return 0
+	}
+	for _, d := range active {
+		pos := fset.Position(d.Pos)
+		fmt.Printf("%s:%d:%d: [%s] %s\n", relName(pos.Filename), pos.Line, pos.Column, d.Analyzer, d.Message)
 	}
 	return 1
 }

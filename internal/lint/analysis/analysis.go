@@ -24,7 +24,10 @@ import (
 	"strings"
 )
 
-// Analyzer describes one invariant checker.
+// Analyzer describes one invariant checker. An analyzer is either
+// per-package (Run) or whole-program (RunProgram); the interprocedural
+// checkers use the latter because a taint path or a field-coverage
+// proof crosses package boundaries.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //lint:allow directives. It must be a single lower-case word.
@@ -32,7 +35,12 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc string
 	// Run inspects one package and reports violations via the pass.
+	// Nil for whole-program analyzers.
 	Run func(*Pass) error
+	// RunProgram inspects every target package at once. The driver
+	// invokes it exactly once per Run call, after the per-package
+	// passes. Nil for per-package analyzers.
+	RunProgram func(*ProgramPass) error
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -63,11 +71,48 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return p.Info.TypeOf(e)
 }
 
-// Diagnostic is one reported violation.
+// ProgramPass carries every type-checked target package through one
+// whole-program analyzer. All targets share a single token.FileSet
+// (the loader guarantees it).
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Targets  []*Target
+
+	report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported violation. A diagnostic silenced by a
+// //lint:allow directive is still returned — with Suppressed set and
+// the directive's reason attached — so machine consumers (mcdlint
+// -json) can surface waived findings next to active ones; only
+// unsuppressed diagnostics affect mcdlint's exit status.
 type Diagnostic struct {
-	Pos      token.Pos
-	Analyzer string
-	Message  string
+	Pos         token.Pos
+	Analyzer    string
+	Message     string
+	Suppressed  bool
+	AllowReason string
+}
+
+// Active filters diags down to the unsuppressed ones.
+func Active(diags []Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // Target is the loader-agnostic view of one package the driver needs.
@@ -115,10 +160,11 @@ func parseAllows(fset *token.FileSet, f *ast.File) []*allowDirective {
 }
 
 // Run applies every analyzer to every target package and returns the
-// surviving diagnostics sorted by position. Suppressed diagnostics are
-// dropped; malformed or unused //lint:allow directives are reported as
-// diagnostics of the pseudo-analyzer "lintdirective" so stale escape
-// hatches cannot linger silently.
+// diagnostics sorted by position. Diagnostics silenced by a
+// //lint:allow directive are returned with Suppressed set (see
+// Diagnostic); malformed or unused //lint:allow directives are
+// reported as diagnostics of the pseudo-analyzer "lintdirective" so
+// stale escape hatches cannot linger silently.
 func Run(targets []*Target, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	var allows []*allowDirective
@@ -127,7 +173,13 @@ func Run(targets []*Target, analyzers []*Analyzer) ([]Diagnostic, error) {
 			allows = append(allows, parseAllows(t.Fset, f)...)
 		}
 	}
-	allowed := func(d Diagnostic, fset *token.FileSet) bool {
+	fsetFor := func() *token.FileSet {
+		if len(targets) > 0 {
+			return targets[0].Fset
+		}
+		return token.NewFileSet()
+	}
+	report := func(d Diagnostic, fset *token.FileSet) {
 		p := fset.Position(d.Pos)
 		for _, a := range allows {
 			if a.analyzer != d.Analyzer || a.file != p.Filename || a.reason == "" {
@@ -135,14 +187,19 @@ func Run(targets []*Target, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 			if a.line == p.Line || a.line == p.Line-1 {
 				a.used = true
-				return true
+				d.Suppressed = true
+				d.AllowReason = a.reason
+				break
 			}
 		}
-		return false
+		diags = append(diags, d)
 	}
 
 	for _, t := range targets {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     t.Fset,
@@ -150,14 +207,26 @@ func Run(targets []*Target, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Pkg:      t.Pkg,
 				Info:     t.Info,
 			}
-			pass.report = func(d Diagnostic) {
-				if !allowed(d, t.Fset) {
-					diags = append(diags, d)
-				}
-			}
+			fset := t.Fset
+			pass.report = func(d Diagnostic) { report(d, fset) }
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, t.Pkg.Path(), err)
 			}
+		}
+	}
+
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		pass := &ProgramPass{
+			Analyzer: a,
+			Fset:     fsetFor(),
+			Targets:  targets,
+		}
+		pass.report = func(d Diagnostic) { report(d, pass.Fset) }
+		if err := a.RunProgram(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
 

@@ -85,8 +85,13 @@ func f() {
 	}
 }
 `, flagLoops)
-	if len(diags) != 0 {
-		t.Fatalf("same-line allow did not suppress: %v", messages(diags))
+	if len(Active(diags)) != 0 {
+		t.Fatalf("same-line allow did not suppress: %v", messages(Active(diags)))
+	}
+	// The waived finding is still on the record, reason attached.
+	if len(diags) != 1 || !diags[0].Suppressed ||
+		diags[0].AllowReason != "benchmark loop is intentionally unbounded" {
+		t.Fatalf("suppressed diagnostic not recorded with its reason: %+v", diags)
 	}
 }
 
@@ -98,8 +103,8 @@ func f() {
 	}
 }
 `, flagLoops)
-	if len(diags) != 0 {
-		t.Fatalf("line-above allow did not suppress: %v", messages(diags))
+	if len(Active(diags)) != 0 {
+		t.Fatalf("line-above allow did not suppress: %v", messages(Active(diags)))
 	}
 }
 
@@ -113,8 +118,44 @@ func f() {
 	}
 }
 `, flagLoops)
-	if len(diags) != 1 {
-		t.Fatalf("got %d diagnostics, want 1 (second loop unsuppressed): %v", len(diags), messages(diags))
+	if got := Active(diags); len(got) != 1 {
+		t.Fatalf("got %d active diagnostics, want 1 (second loop unsuppressed): %v", len(got), messages(got))
+	}
+}
+
+// progCalls counts functions per package across the whole program — a
+// minimal whole-program analyzer exercising the ProgramPass plumbing
+// and its interaction with //lint:allow.
+var flagFuncs = &Analyzer{
+	Name: "flagfuncs",
+	Doc:  "flags every function declaration, program-wide",
+	RunProgram: func(p *ProgramPass) error {
+		for _, t := range p.Targets {
+			for _, f := range t.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok {
+						p.Reportf(fd.Pos(), "function %s", fd.Name.Name)
+					}
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestProgramPass(t *testing.T) {
+	diags := check(t, `package p
+func a() {}
+
+//lint:allow flagfuncs demonstrates program-pass suppression
+func b() {}
+`, flagFuncs)
+	active := Active(diags)
+	if len(active) != 1 || !strings.Contains(active[0].Message, "function a") {
+		t.Fatalf("want one active diagnostic for a, got: %v", messages(active))
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want the waived b finding recorded as suppressed, got: %v", messages(diags))
 	}
 }
 

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -37,15 +38,35 @@ func runDetRange(pass *analysis.Pass) error {
 	if !inScope(pass.Pkg.Path(), renderPackages) {
 		return nil
 	}
-	w := &rangeWalker{pass: pass}
 	for _, f := range pass.Files {
-		w.walk(f)
+		for _, fd := range findOrderDependentMapRanges(pass.Info, f) {
+			pass.Reportf(fd.pos, "%s", fd.msg)
+		}
 	}
 	return nil
 }
 
+// rangeFinding is one order-dependent map range: where it is and why
+// it was rejected.
+type rangeFinding struct {
+	pos token.Pos
+	msg string
+}
+
+// findOrderDependentMapRanges returns every map range in f whose body
+// is not provably order-insensitive. detrange reports these directly
+// in its scoped packages; the dettaint call-graph engine treats them
+// as nondeterminism sources everywhere else (a helper package leaking
+// map order into the simulator).
+func findOrderDependentMapRanges(info *types.Info, f *ast.File) []rangeFinding {
+	w := &rangeWalker{info: info}
+	w.walk(f)
+	return w.findings
+}
+
 type rangeWalker struct {
-	pass *analysis.Pass
+	info     *types.Info
+	findings []rangeFinding
 	// stack holds the ancestors of the node being visited, outermost
 	// first, so checkRange can find the enclosing block for the
 	// append-then-sort pattern.
@@ -67,14 +88,14 @@ func (w *rangeWalker) walk(f *ast.File) {
 }
 
 func (w *rangeWalker) checkRange(rs *ast.RangeStmt) {
-	t := w.pass.TypeOf(rs.X)
+	t := w.info.TypeOf(rs.X)
 	if t == nil {
 		return
 	}
 	if _, isMap := t.Underlying().(*types.Map); !isMap {
 		return
 	}
-	c := &bodyChecker{info: w.pass.Info}
+	c := &bodyChecker{info: w.info}
 	if c.stmtsOK(rs.Body.List) {
 		if len(c.appended) == 0 {
 			return // purely commutative body
@@ -82,12 +103,12 @@ func (w *rangeWalker) checkRange(rs *ast.RangeStmt) {
 		if w.sortedAfter(rs, c.appended) {
 			return // collect-then-sort idiom
 		}
-		w.pass.Reportf(rs.For,
-			"range over map %s collects into a slice that is never sorted; sort it before use", types.ExprString(rs.X))
+		w.findings = append(w.findings, rangeFinding{rs.For,
+			fmt.Sprintf("range over map %s collects into a slice that is never sorted; sort it before use", types.ExprString(rs.X))})
 		return
 	}
-	w.pass.Reportf(rs.For,
-		"range over map %s has an order-dependent body; iterate sorted keys instead", types.ExprString(rs.X))
+	w.findings = append(w.findings, rangeFinding{rs.For,
+		fmt.Sprintf("range over map %s has an order-dependent body; iterate sorted keys instead", types.ExprString(rs.X))})
 }
 
 // sortedAfter reports whether, in the block enclosing rs, a later

@@ -80,34 +80,46 @@ func runDetSource(pass *analysis.Pass) error {
 
 	// Format strings: %p leaks addresses into output.
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
-			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
-				return true
-			}
-			for _, arg := range call.Args {
-				lit, ok := arg.(*ast.BasicLit)
-				if !ok || lit.Kind != token.STRING {
-					continue
-				}
-				s, err := strconv.Unquote(lit.Value)
-				if err != nil {
-					continue
-				}
-				if strings.Contains(s, "%p") || strings.Contains(s, "%#p") {
-					pass.Reportf(lit.Pos(), "%%p formats a memory address, which differs between runs; print a stable identifier instead")
-				}
-			}
-			return true
-		})
+		for _, pos := range findPointerFormats(pass.Info, f) {
+			pass.Reportf(pos, "%%p formats a memory address, which differs between runs; print a stable identifier instead")
+		}
 	}
 	return nil
+}
+
+// findPointerFormats returns the position of every constant fmt format
+// string containing %p in f. Shared by detsource (which bans them in
+// the simulator packages directly) and the dettaint call-graph engine
+// (which treats them as taint sources everywhere else).
+func findPointerFormats(info *types.Info, f *ast.File) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+			return true
+		}
+		for _, arg := range call.Args {
+			lit, ok := arg.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				continue
+			}
+			s, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				continue
+			}
+			if strings.Contains(s, "%p") || strings.Contains(s, "%#p") {
+				out = append(out, lit.Pos())
+			}
+		}
+		return true
+	})
+	return out
 }

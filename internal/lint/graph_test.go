@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mcddvfs/internal/lint/load"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden call-graph dump")
+
+// TestGraphGolden pins the exact edge set the builder produces for the
+// corner-case shapes in the graphfix fixture package: mutual recursion
+// (both edges, termination), interface dispatch (conservative fan-out
+// to value- and pointer-receiver implementations), a method value
+// referenced without a call, and a call buried in a closure attributed
+// to the enclosing declaration.
+func TestGraphGolden(t *testing.T) {
+	dir, err := filepath.Abs("testdata/src/fixture.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := load.Load(dir, "./internal/graphfix")
+	if err != nil {
+		t.Fatalf("loading graphfix fixture: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	g := buildGraph(Targets(pkgs), pkgs[0].Fset)
+	got := g.dump()
+
+	golden := filepath.Join("testdata", "graph_golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("call-graph dump differs from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}

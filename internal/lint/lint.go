@@ -21,6 +21,21 @@
 //     engineowned forbids direct clock.Domain.Advance/Stop calls
 //     outside internal/clock, so the engine's cached edge times stay
 //     coherent and per-cycle polling cannot creep back in.
+//
+// Two analyzers are whole-program rather than per-package, built on
+// the call graph in graph.go:
+//
+//   - Nondeterminism cannot reach the simulator from anywhere.
+//     dettaint propagates taint from every nondeterminism source
+//     (wall clock, global rand, filesystem enumeration, multi-ready
+//     select, %p, unordered map iteration) across the repo call graph
+//     and fails if any source is reachable from the simulation entry
+//     points — including through helpers in packages the per-package
+//     analyzers never look at.
+//   - The content-addressed cache key is complete.
+//     cachekey proves every Options field the run path reads is hashed
+//     (or explicitly exempted), and that the serve layer's request key
+//     and wire-default normalization cover the same set.
 package lint
 
 import (
@@ -75,6 +90,8 @@ func Analyzers() []*analysis.Analyzer {
 		ErrTaxonomy,
 		SchemeSwitch,
 		EngineOwned,
+		DetTaint,
+		CacheKey,
 	}
 }
 

@@ -18,3 +18,5 @@ func TestCtxFlow(t *testing.T)      { linttest.Run(t, fixtureDir, "ctxflow") }
 func TestErrTaxonomy(t *testing.T)  { linttest.Run(t, fixtureDir, "errtaxonomy") }
 func TestSchemeSwitch(t *testing.T) { linttest.Run(t, fixtureDir, "schemeswitch") }
 func TestEngineOwned(t *testing.T)  { linttest.Run(t, fixtureDir, "engineowned") }
+func TestDetTaint(t *testing.T)     { linttest.Run(t, fixtureDir, "dettaint") }
+func TestCacheKey(t *testing.T)     { linttest.Run(t, fixtureDir, "cachekey") }

@@ -74,7 +74,7 @@ func runSuite(dir string) error {
 		return fmt.Errorf("fixture module %s matched no packages", dir)
 	}
 	fset := pkgs[0].Fset
-	for _, d := range ds {
+	for _, d := range analysis.Active(ds) {
 		pos := fset.Position(d.Pos)
 		fixture.diags = append(fixture.diags, diag{
 			file:     pos.Filename,
@@ -100,21 +100,21 @@ func parseWants(filename string) error {
 		return err
 	}
 	for i, line := range strings.Split(string(src), "\n") {
-		m := wantRE.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		for _, pm := range patRE.FindAllStringSubmatch(m[2], -1) {
-			re, err := regexp.Compile(pm[1])
-			if err != nil {
-				return fmt.Errorf("%s:%d: bad want pattern %q: %w", filename, i+1, pm[1], err)
+		// A line may carry several want tags (one per analyzer expected
+		// to fire there), each with several backquoted patterns.
+		for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+			for _, pm := range patRE.FindAllStringSubmatch(m[2], -1) {
+				re, err := regexp.Compile(pm[1])
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want pattern %q: %w", filename, i+1, pm[1], err)
+				}
+				fixture.wants = append(fixture.wants, &want{
+					file:     filename,
+					line:     i + 1,
+					analyzer: m[1],
+					re:       re,
+				})
 			}
-			fixture.wants = append(fixture.wants, &want{
-				file:     filename,
-				line:     i + 1,
-				analyzer: m[1],
-				re:       re,
-			})
 		}
 	}
 	return nil

@@ -1,0 +1,52 @@
+// Package graphfix exercises the call-graph builder's corner cases —
+// mutual recursion, method values, closures, interface fan-out — for
+// the golden graph-dump test, which pins the exact edges these shapes
+// produce.
+package graphfix
+
+// Ping and Pong are mutually recursive: the builder must terminate and
+// record both edges.
+func Ping(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return Pong(n - 1)
+}
+
+// Pong calls back into Ping.
+func Pong(n int) int { return Ping(n - 1) }
+
+// Doer is dispatched through below; both implementations must be
+// conservatively reached from the one call site.
+type Doer interface {
+	Do() int
+}
+
+// Alpha implements Doer with a value receiver.
+type Alpha struct{}
+
+// Do is Alpha's implementation.
+func (Alpha) Do() int { return 1 }
+
+// Beta implements Doer with a pointer receiver.
+type Beta struct{ n int }
+
+// Do is Beta's implementation.
+func (b *Beta) Do() int { return b.n }
+
+// Dispatch calls through the interface: one call site, two iface
+// edges.
+func Dispatch(d Doer) int { return d.Do() }
+
+// MethodValue references a method without calling it: a reference is
+// still an edge.
+func MethodValue(a Alpha) func() int {
+	return a.Do
+}
+
+// Closure buries a call inside a function literal: the edge is
+// attributed to Closure itself.
+func Closure() int {
+	f := func() int { return Ping(3) }
+	return f()
+}

@@ -1,0 +1,28 @@
+package mcd
+
+import "fixture.example/internal/stats"
+
+// RunSampled is a simulation entry point that reaches wall-clock time
+// through two call hops and an interface; the diagnostic lands on the
+// source in internal/stats, carrying this path.
+func RunSampled() int64 {
+	return stats.Hop(stats.WallSampler{})
+}
+
+// RunFromDisk drags host filesystem state into the simulator through a
+// helper in an unwatched package.
+func RunFromDisk() []string {
+	return stats.ProfileNames("profiles")
+}
+
+// drainEither returns whichever channel is ready first: scheduler
+// nondeterminism inside the simulator itself, and a source class no
+// per-package analyzer owns.
+func drainEither(a, b chan int) int {
+	select { // want dettaint `select with multiple communication cases`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

@@ -1,0 +1,58 @@
+// Package servekey is a cachekey fixture for the serve-side rules: the
+// wire request must be hashed whole, may strip only fields that stay
+// out of the result hash, and must normalize harness defaults into the
+// request.
+package servekey
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+
+	"fixture.example/internal/harness"
+)
+
+// RenderRequest is the wire form of a fixture spec.
+type RenderRequest struct {
+	// Width flows into harness Options.Width — hash-covered and
+	// defaulted — but validateSpec never folds the default in: an
+	// omitted Width and an explicit default-value Width get two cache
+	// entries for one result.
+	Width int // want cachekey `RenderRequest.Width flows into Options.Width, which has a harness default; normalize the default into the request in validateSpec`
+	// Rounds flows into the hash-covered Options.Rounds; key() below
+	// wrongly strips it.
+	Rounds int
+	// Depth flows only into the uncovered Options.Depth, so neither
+	// stripping nor skipping normalization would matter. No diagnostic.
+	Depth int
+	// TimeoutMS bounds the attempt and flows into no Options field;
+	// key() strips it legitimately. No diagnostic.
+	TimeoutMS int
+}
+
+type spec struct {
+	req RenderRequest
+}
+
+func (s *spec) key() string {
+	id := s.req
+	id.Rounds = 0 // want cachekey `key\(\) strips RenderRequest.Rounds, but it flows into Options.Rounds, which the result hash covers`
+	id.TimeoutMS = 0
+	b, _ := json.Marshal(id)
+	return fmt.Sprintf("%x", sha256.Sum256(b))
+}
+
+func (s *spec) options() harness.Options {
+	return harness.Options{
+		Width:  s.req.Width,
+		Rounds: s.req.Rounds,
+		Depth:  s.req.Depth,
+	}
+}
+
+func (s *spec) validateSpec() error {
+	if s.req.Depth < 0 {
+		return fmt.Errorf("depth must be non-negative")
+	}
+	return nil
+}

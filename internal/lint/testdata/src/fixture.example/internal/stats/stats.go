@@ -1,0 +1,54 @@
+// Package stats is a lint fixture for dettaint: it sits outside every
+// per-package analyzer scope, so the nondeterminism buried here is
+// invisible to detsource/detrange and only whole-program reachability
+// can connect it to the simulator.
+package stats
+
+import (
+	"os"
+	"time"
+)
+
+// Sampler abstracts a time source; the call through it forces the
+// taint path to survive a conservative interface fan-out.
+type Sampler interface {
+	Sample() int64
+}
+
+// Hop dispatches through the interface.
+func Hop(s Sampler) int64 {
+	return s.Sample()
+}
+
+// WallSampler is the nondeterministic implementation.
+type WallSampler struct{}
+
+// Sample reaches the wall clock through one more hop.
+func (WallSampler) Sample() int64 { return nowMillis() }
+
+// nowMillis is the buried source: two call hops and an interface away
+// from the simulation entry point that reaches it. The diagnostic must
+// carry that full path.
+func nowMillis() int64 {
+	return time.Now().UnixMilli() // want dettaint `wall clock time.Now is reachable from the simulation entry points via mcd.RunSampled -> stats.Hop -> \[iface\] stats.\(WallSampler\).Sample -> stats.nowMillis`
+}
+
+// ProfileNames bakes host directory contents into simulation input.
+func ProfileNames(dir string) []string {
+	ents, err := os.ReadDir(dir) // want dettaint `filesystem enumeration os.ReadDir reads host state is reachable from the simulation entry points via mcd.RunFromDisk -> stats.ProfileNames`
+	if err != nil {
+		return nil
+	}
+	out := make([]string, 0, len(ents))
+	for _, e := range ents {
+		out = append(out, e.Name())
+	}
+	return out
+}
+
+// LocalOnly also reads the wall clock but is never reachable from a
+// simulation entry point: reachability, not mere presence, is what
+// dettaint reports. No diagnostic.
+func LocalOnly() int64 {
+	return time.Now().UnixNano()
+}
