@@ -61,6 +61,7 @@ type Options struct {
 	// Seed for trace generation and clock jitter.
 	Seed int64
 	// Benchmarks restricts the suite (nil = all 17).
+	//lint:allow cachekey selects which runs happen, not what any run computes
 	Benchmarks []string
 	// Schemes restricts the benchmark × scheme sweeps (RunMatrix, the
 	// fault sweep, and the figures they feed) to this subset of
@@ -70,6 +71,7 @@ type Options struct {
 	// baseline always runs regardless — every metric is measured
 	// against it. Like Benchmarks, this selects which runs happen, not
 	// what any run computes, so it never enters the result-cache key.
+	//lint:allow cachekey selects which runs happen, not what any run computes
 	Schemes []Scheme
 	// PIDIntervalTicks overrides the PID decision interval (0 = the
 	// 2500-tick default) — used by the Table-3 sweep.
@@ -85,11 +87,13 @@ type Options struct {
 	Faults faults.Config
 	// Timeout bounds each individual simulation; a run that exceeds it
 	// fails with ErrRunTimeout (0 = unbounded).
+	//lint:allow cachekey bounds the attempt, not the result a successful run computes
 	Timeout time.Duration
 	// Context, when non-nil, cancels in-flight and pending runs for
 	// every harness entry point that does not take an explicit context
 	// (the report and sweep generators). Explicit ...Context variants
 	// take precedence.
+	//lint:allow cachekey cancellation plumbing; a cancelled run caches nothing
 	Context context.Context
 	// CacheDir, when non-empty, enables the persistent on-disk result
 	// cache rooted at that directory (cmd/experiments defaults it to
@@ -97,10 +101,12 @@ type Options struct {
 	// a warm rerun only decodes them. Empty — the zero-config default —
 	// keeps memoization in-process only, so plain Run behavior is
 	// unchanged.
+	//lint:allow cachekey says where results are stored, not what they are
 	CacheDir string
 	// CacheMaxBytes caps the on-disk cache's total size; the
 	// least-recently-used entries are evicted past it (0 = the
 	// diskcache default).
+	//lint:allow cachekey says where results are stored, not what they are
 	CacheMaxBytes int64
 }
 
