@@ -39,15 +39,17 @@ lint-budget:
 	fi
 
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkRunMatrix' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkRunMatrix|BenchmarkChunkedReplay' -benchtime 1x -benchmem .
 
 # bench-compare re-runs the tracked benchmarks and gates against the
 # committed baseline; CI runs it as a blocking job. Two gates, each
 # calibrated to how its statistic behaves on shared hardware:
 #
-#   * wall clock at ±40% — benchmarks reporting sim-insts/s are judged
-#     on that figure, the rest on ns/op, best-of-5 (-count=5, benchjson
-#     keeps the fastest repeat). Coarse on purpose: back-to-back
+#   * wall clock at ±40% — benchmarks reporting a throughput metric
+#     (sim-insts/s for the simulator core, cells/s for the matrix
+#     harness) are judged on that figure, the rest on ns/op, best-of-5
+#     (-count=5, benchjson keeps the fastest repeat). Coarse on
+#     purpose: back-to-back
 #     best-of-N invocations drift ±20-30% with runner load, so a
 #     tighter wall gate flaps red on quiet commits. 40% still trips on
 #     catastrophic slowdowns (reintroducing per-cycle polling, an
@@ -59,12 +61,12 @@ bench:
 # After a deliberate performance change, refresh the baseline with
 # `make bench-baseline`.
 bench-compare:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkRunMatrix' -benchtime 1x -count=5 -benchmem . \
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkRunMatrix|BenchmarkChunkedReplay' -benchtime 1x -count=5 -benchmem . \
 		| $(GO) run ./cmd/benchjson -out bench_new.json
 	$(GO) run ./cmd/benchjson -compare -tolerance 40 -alloc-tolerance 10 BENCH_baseline.json bench_new.json
 
 # bench-baseline rewrites BENCH_baseline.json from a fresh best-of-5
 # run; commit the result alongside the change that moved the numbers.
 bench-baseline:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkRunMatrix' -benchtime 1x -count=5 -benchmem . \
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkRunMatrix|BenchmarkChunkedReplay' -benchtime 1x -count=5 -benchmem . \
 		| $(GO) run ./cmd/benchjson -out BENCH_baseline.json

@@ -97,6 +97,12 @@ type (
 	ActuatorFaults = faults.ActuatorConfig
 	// CellError is one failed cell of a benchmark × scheme matrix.
 	CellError = experiment.CellError
+	// RowEvent is one completed benchmark row of a matrix sweep,
+	// delivered through Options.RowFlush in benchmark order.
+	RowEvent = experiment.RowEvent
+	// CorpusStats summarizes streamed-trace residency and self-healing
+	// for a corpus-backed matrix run (Matrix.Corpus).
+	CorpusStats = experiment.CorpusStats
 )
 
 // The harness error taxonomy: every failure a run can produce wraps

@@ -9,6 +9,7 @@ package mcddvfs
 // as a miniature results table.
 
 import (
+	"bytes"
 	"testing"
 
 	"mcddvfs/internal/clock"
@@ -196,13 +197,16 @@ func BenchmarkTransitionStyles(b *testing.B) {
 }
 
 // BenchmarkRunMatrix measures the benchmark × scheme sweep that feeds
-// Figures 9-11 under the four caching regimes: cold with the shared
-// trace bank (the default), cold with per-cell trace generation (the
-// pre-sharing behavior), warm from the in-process cache, and warm from
-// the on-disk cache (models re-rendering after process death).
+// Figures 9-11 under five caching regimes: cold with the shared trace
+// bank (the default), cold with per-cell trace generation (the
+// pre-sharing behavior), cold streaming traces from an on-disk corpus,
+// warm from the in-process cache, and warm from the on-disk cache
+// (models re-rendering after process death). Every regime reports
+// cells/s — matrix cells retired per second, the throughput figure the
+// corpus work targets — so BENCH_baseline.json gates it.
 func BenchmarkRunMatrix(b *testing.B) {
 	opt := benchOpt(60000, "adpcm_encode", "gsm_decode", "gzip", "swim")
-	check := func(m *experiment.Matrix, err error) {
+	check := func(m *experiment.Matrix, err error) int {
 		b.Helper()
 		if err != nil {
 			b.Fatal(err)
@@ -210,30 +214,50 @@ func BenchmarkRunMatrix(b *testing.B) {
 		if len(m.Failures) != 0 {
 			b.Fatal(m.Failures[0].Error())
 		}
+		return len(m.Benchmarks) * (len(m.Schemes) + 1)
+	}
+	reportCells := func(b *testing.B, cells int) {
+		b.ReportMetric(float64(cells)/b.Elapsed().Seconds(), "cells/s")
 	}
 
 	b.Run("cold-shared-trace", func(b *testing.B) {
 		uncached(b)
+		cells := 0
 		for i := 0; i < b.N; i++ {
-			check(experiment.RunMatrix(opt))
+			cells += check(experiment.RunMatrix(opt))
 		}
+		reportCells(b, cells)
 	})
 	b.Run("cold-per-cell-trace", func(b *testing.B) {
 		uncached(b)
 		experiment.SetTraceSharing(false)
 		b.Cleanup(func() { experiment.SetTraceSharing(true) })
+		cells := 0
 		for i := 0; i < b.N; i++ {
-			check(experiment.RunMatrix(opt))
+			cells += check(experiment.RunMatrix(opt))
 		}
+		reportCells(b, cells)
+	})
+	b.Run("cold-corpus", func(b *testing.B) {
+		uncached(b)
+		copt := opt
+		copt.CorpusDir = buildBenchCorpus(b, opt)
+		cells := 0
+		for i := 0; i < b.N; i++ {
+			cells += check(experiment.RunMatrix(copt))
+		}
+		reportCells(b, cells)
 	})
 	b.Run("warm-memory", func(b *testing.B) {
 		experiment.ResetCache()
 		b.Cleanup(experiment.ResetCache)
 		check(experiment.RunMatrix(opt)) // populate
 		b.ResetTimer()
+		cells := 0
 		for i := 0; i < b.N; i++ {
-			check(experiment.RunMatrix(opt))
+			cells += check(experiment.RunMatrix(opt))
 		}
+		reportCells(b, cells)
 	})
 	b.Run("warm-disk", func(b *testing.B) {
 		dopt := opt
@@ -242,11 +266,36 @@ func BenchmarkRunMatrix(b *testing.B) {
 		b.Cleanup(experiment.ResetCache)
 		check(experiment.RunMatrix(dopt)) // populate the store
 		b.ResetTimer()
+		cells := 0
 		for i := 0; i < b.N; i++ {
 			experiment.ResetCache() // drop memory: every cell decodes from disk
-			check(experiment.RunMatrix(dopt))
+			cells += check(experiment.RunMatrix(dopt))
 		}
+		reportCells(b, cells)
 	})
+}
+
+// buildBenchCorpus emits a chunked trace corpus matching opt into a
+// temporary directory for the cold-corpus matrix regime.
+func buildBenchCorpus(b *testing.B, opt experiment.Options) string {
+	b.Helper()
+	dir := b.TempDir()
+	man := trace.CorpusManifest{FormatVersion: 2, Seed: opt.Seed, Instructions: opt.Instructions}
+	for _, name := range opt.Benchmarks {
+		prof, err := trace.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := trace.EmitCorpusMember(dir, prof, opt.Seed, opt.Instructions, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		man.Members = append(man.Members, m)
+	}
+	if err := trace.WriteCorpusManifest(dir, man); err != nil {
+		b.Fatal(err)
+	}
+	return dir
 }
 
 // ---------------------------------------------------------------------
@@ -296,6 +345,47 @@ func BenchmarkTraceGeneration(b *testing.B) {
 		if _, ok := g.Next(); !ok {
 			b.Fatal("generator ran dry")
 		}
+	}
+}
+
+// BenchmarkChunkedReplay measures streamed replay from the chunked
+// on-disk trace format through a two-chunk window: the steady-state
+// cost of a corpus-backed matrix cell's instruction feed. allocs/op is
+// the gated figure — per-instruction decode must stay allocation-free,
+// with only the per-chunk load amortized across its instructions.
+func BenchmarkChunkedReplay(b *testing.B) {
+	prof, err := trace.ByName("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const insts = 1 << 15
+	gen, err := trace.NewGenerator(prof, 1, insts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := trace.WriteChunked(&buf, gen, insts, 4096); err != nil {
+		b.Fatal(err)
+	}
+	c, err := trace.OpenChunked(bytes.NewReader(buf.Bytes()), int64(buf.Len()), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cur := c.Replay()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in, ok := cur.Next()
+		if !ok {
+			if err := cur.Err(); err != nil {
+				b.Fatal(err)
+			}
+			cur = c.Replay()
+			if in, ok = cur.Next(); !ok {
+				b.Fatal("empty trace")
+			}
+		}
+		_ = in
 	}
 }
 

@@ -16,7 +16,7 @@
 // run per benchmark:
 //
 //   - wall clock, at -tolerance percent: benchmarks reporting a
-//     sim-insts/s metric are gated on that throughput figure (a drop
+//     throughput metric (sim-insts/s or cells/s) are gated on that figure (a drop
 //     beyond tolerance fails; a gain beyond it is flagged as a stale
 //     baseline worth refreshing); all others are gated on ns/op. This
 //     gate is deliberately coarse — wall time on shared machines
@@ -139,11 +139,12 @@ func addBest(base *Baseline, b Benchmark) {
 	base.Benchmarks = append(base.Benchmarks, b)
 }
 
-// throughputUnit is the custom metric the simulator benchmarks report;
-// when both sides of a comparison carry it, the gate runs on it
-// directly (it is the figure the performance roadmap tracks) instead
-// of on ns/op.
-const throughputUnit = "sim-insts/s"
+// throughputUnits are the custom metrics the benchmarks report; when
+// both sides of a comparison carry one (first match wins), the gate
+// runs on it directly — it is the figure the performance roadmap
+// tracks — instead of on ns/op. sim-insts/s is the simulator core's
+// figure, cells/s the matrix harness's.
+var throughputUnits = []string{"sim-insts/s", "cells/s"}
 
 // allocUnit is -benchmem's allocation-count column. Unlike wall time
 // it is deterministic between runs, so it gets its own, much tighter
@@ -201,8 +202,16 @@ func compareBaselines(oldPath, newPath string, tolerance, allocTolerance float64
 		compared++
 		delta := 100 * (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
 		verdict := "ok"
-		if oThr, nThr := ob.Metrics[throughputUnit], nb.Metrics[throughputUnit]; oThr > 0 && nThr > 0 {
+		throughputUnit := ""
+		for _, unit := range throughputUnits {
+			if ob.Metrics[unit] > 0 && nb.Metrics[unit] > 0 {
+				throughputUnit = unit
+				break
+			}
+		}
+		if throughputUnit != "" {
 			// Throughput benchmark: gate on the metric itself.
+			oThr, nThr := ob.Metrics[throughputUnit], nb.Metrics[throughputUnit]
 			tDelta := 100 * (nThr - oThr) / oThr
 			switch {
 			case tDelta < -tolerance:

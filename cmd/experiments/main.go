@@ -7,6 +7,7 @@
 //	experiments -all -out results/  # also write one .txt per artifact
 //	experiments -faults 0,0.5,1     # robustness sweep: EDP vs fault intensity
 //	experiments -only fig9 -schemes adaptive,pid-adaptive  # subset / extension columns
+//	experiments -only fig9,fig10 -corpus traces/  # stream matrix traces from a corpus
 //
 // Artifact IDs: table1 table2 fig7 fig8 fig9 fig10 fig11 table3 table4
 // remarks ablation transitions global qref interfaces partitions delays
@@ -32,6 +33,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"mcddvfs"
 	"mcddvfs/internal/cliflags"
@@ -60,6 +62,9 @@ func main() {
 		out    = flag.String("out", "", "directory to also write per-artifact .txt files")
 		asJSON = flag.Bool("json", false, "with -out, also write per-artifact .json files")
 		asSVG  = flag.Bool("svg", false, "with -out, also render figures 7-11 as .svg files")
+
+		corpusDir = flag.String("corpus", "", "resolve matrix benchmarks from this trace corpus directory (cmd/tracegen -corpus): streams traces from disk with bounded memory; the corpus must match -seed and -insts")
+		benchCSV  = flag.String("bench", "", `restrict the benchmark × scheme sweeps to this comma-separated subset of benchmarks ("" = all; with -corpus, the corpus's members in manifest order)`)
 
 		faultsSpec = flag.String("faults", "", `run the robustness artifact at these comma-separated fault intensities in [0,1] (e.g. "0,0.5,1"; "default" = 0,0.25,0.5,0.75,1)`)
 		schemesCSV = flag.String("schemes", "",
@@ -124,11 +129,16 @@ func main() {
 
 	opt := experiment.Options{
 		Instructions: *insts, Seed: *seed, Timeout: *timeout, Context: ctx,
-		CacheDir: *cacheDir, CacheMaxBytes: *cacheMaxBytes,
+		CacheDir: *cacheDir, CacheMaxBytes: *cacheMaxBytes, CorpusDir: *corpusDir,
 	}
 	if *schemesCSV != "" {
 		for _, s := range strings.Split(*schemesCSV, ",") {
 			opt.Schemes = append(opt.Schemes, experiment.Scheme(strings.TrimSpace(s)))
+		}
+	}
+	if *benchCSV != "" {
+		for _, b := range strings.Split(*benchCSV, ",") {
+			opt.Benchmarks = append(opt.Benchmarks, strings.TrimSpace(b))
 		}
 	}
 	emit := func(rep experiment.Report, err error) {
@@ -216,10 +226,67 @@ func main() {
 	}
 
 	if sel("fig9") || sel("fig10") || sel("fig11") || sel("summary") {
-		m, err := experiment.RunMatrixContext(ctx, opt)
+		// Stream fig9/fig10 rows into their .txt files as each
+		// benchmark's cells finish, so a long sweep shows progress and
+		// an interrupt leaves the files current up to the last complete
+		// row. The batch render below rewrites the same bytes, so the
+		// streamed file is a head start, never a divergence.
+		mopt := opt
+		type rowStream struct {
+			id string
+			f  *os.File
+			s  *experiment.FigureStream
+		}
+		var streams []rowStream
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			for _, id := range []string{"fig9", "fig10"} {
+				if !sel(id) {
+					continue
+				}
+				f, err := os.Create(filepath.Join(*out, id+".txt"))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+				s, err := experiment.NewFigureStream(f, id, opt)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+				streams = append(streams, rowStream{id: id, f: f, s: s})
+			}
+		}
+		mopt.RowFlush = func(ev experiment.RowEvent) {
+			for _, rs := range streams {
+				rs.s.Row(ev)
+			}
+			fmt.Fprintf(os.Stderr, "experiments: matrix row %d/%d (%s) done\n",
+				ev.Index+1, ev.Total, ev.Bench)
+		}
+		start := time.Now()
+		m, err := experiment.RunMatrixContext(ctx, mopt)
 		if err != nil && (m == nil || !errors.Is(err, experiment.ErrCancelled)) {
 			fmt.Fprintln(os.Stderr, "experiments: matrix:", err)
 			os.Exit(1)
+		}
+		for _, rs := range streams {
+			if serr := rs.s.Finish(m); serr != nil {
+				fmt.Fprintf(os.Stderr, "experiments: streaming %s.txt: %v\n", rs.id, serr)
+			}
+			rs.f.Close()
+		}
+		if d := time.Since(start); d > 0 {
+			cells := len(m.Benchmarks) * (len(m.Schemes) + 1)
+			fmt.Fprintf(os.Stderr, "experiments: matrix %d cells in %.1fs (%.1f cells/s)\n",
+				cells, d.Seconds(), float64(cells)/d.Seconds())
+		}
+		if m.Corpus != nil {
+			fmt.Fprintf(os.Stderr, "experiments: corpus streaming: peak %d bytes resident (bound %d), %d chunk loads, %d heals\n",
+				m.Corpus.PeakResidentBytes, m.Corpus.WindowBytes, m.Corpus.Loads, m.Corpus.Heals)
 		}
 		interrupted := err != nil
 		if interrupted {

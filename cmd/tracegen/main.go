@@ -1,17 +1,28 @@
 // Command tracegen generates, saves, inspects, and replays synthetic
-// workload traces.
+// workload traces, and emits whole trace corpora for the experiment
+// harness.
 //
 // Usage:
 //
-//	tracegen -bench gsm_decode -insts 500000 -o gsm.mcdt   # save a trace
-//	tracegen -stats gsm.mcdt                               # inspect it
-//	tracegen -replay gsm.mcdt -scheme adaptive             # simulate it
+//	tracegen -bench gsm_decode -insts 500000 -o gsm.mcdc   # save a trace
+//	tracegen -stats gsm.mcdc                               # inspect it
+//	tracegen -replay gsm.mcdc -scheme adaptive             # simulate it
+//	tracegen -corpus traces/ -insts 500000 -seed 1         # emit a corpus
+//
+// Traces are written in the chunked v2 format (compressed fixed-size
+// chunks, per-chunk CRC, seekable index) unless -format mcdt selects
+// the legacy monolithic stream; -stats and -replay sniff the magic and
+// stream either format from disk with bounded memory. A corpus
+// directory (see `internal/trace`) bundles one chunked trace per
+// benchmark plus a checksummed manifest, and is what the experiment
+// harness's -corpus flag consumes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mcddvfs/internal/experiment"
 	"mcddvfs/internal/isa"
@@ -21,10 +32,13 @@ import (
 
 func main() {
 	var (
-		bench  = flag.String("bench", "epic_decode", "benchmark to generate")
+		bench  = flag.String("bench", "", "benchmark to generate (default epic_decode); for -corpus, a comma-separated subset (empty = all benchmarks)")
 		insts  = flag.Int64("insts", 500000, "instructions to generate")
-		seed   = flag.Int64("seed", 1, "generator seed")
-		out    = flag.String("o", "", "write the trace to this file")
+		seed   = flag.Int64("seed", 1, "harness seed (streams are recorded at the harness's derived stream seed)")
+		out    = flag.String("o", "", "write one trace to this file")
+		format = flag.String("format", "chunked", "output format for -o: chunked (v2) or mcdt (legacy v1)")
+		chunk  = flag.Int("chunk", 0, "instructions per chunk for chunked output (0 = default)")
+		corpus = flag.String("corpus", "", "emit a trace corpus (one chunked trace per benchmark + manifest) into this directory")
 		stats  = flag.String("stats", "", "print statistics for a trace file and exit")
 		replay = flag.String("replay", "", "simulate a saved trace file")
 		scheme = flag.String("scheme", "adaptive", "DVFS scheme for -replay")
@@ -40,12 +54,16 @@ func main() {
 		if err := replayTrace(*replay, *scheme); err != nil {
 			fail(err)
 		}
+	case *corpus != "":
+		if err := emitCorpus(*corpus, *bench, *insts, *seed, *chunk); err != nil {
+			fail(err)
+		}
 	case *out != "":
-		if err := generate(*bench, *insts, *seed, *out); err != nil {
+		if err := generate(*bench, *insts, *seed, *out, *format, *chunk); err != nil {
 			fail(err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "tracegen: pass -o, -stats or -replay; see -h")
+		fmt.Fprintln(os.Stderr, "tracegen: pass -o, -corpus, -stats or -replay; see -h")
 		os.Exit(2)
 	}
 }
@@ -55,7 +73,10 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-func generate(bench string, insts, seed int64, out string) error {
+func generate(bench string, insts, seed int64, out, format string, chunk int) error {
+	if bench == "" {
+		bench = "epic_decode"
+	}
 	prof, err := trace.ByName(bench)
 	if err != nil {
 		return err
@@ -69,37 +90,143 @@ func generate(bench string, insts, seed int64, out string) error {
 		return err
 	}
 	defer f.Close()
-	n, err := trace.Write(f, gen, insts)
+	var n int64
+	switch format {
+	case "chunked":
+		var bytes int64
+		bytes, err = trace.WriteChunked(f, gen, insts, chunk)
+		n = insts
+		if err == nil {
+			fmt.Printf("wrote %d instructions of %s to %s (chunked v2, %d bytes)\n", n, bench, out, bytes)
+		}
+	case "mcdt":
+		n, err = trace.Write(f, gen, insts)
+		if err == nil {
+			fmt.Printf("wrote %d instructions of %s to %s\n", n, bench, out)
+		}
+	default:
+		return fmt.Errorf("unknown -format %q (chunked or mcdt)", format)
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d instructions of %s to %s\n", n, bench, out)
 	return f.Close()
 }
 
-func openTrace(path string) (*trace.Reader, *os.File, error) {
+// emitCorpus records every selected benchmark at the harness seed into
+// dir, writes the manifest, and runs the full integrity verification
+// over the result.
+func emitCorpus(dir, benchCSV string, insts, seed int64, chunk int) error {
+	benches := trace.Names()
+	if benchCSV != "" {
+		benches = strings.Split(benchCSV, ",")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	man := trace.CorpusManifest{FormatVersion: 2, Seed: seed, Instructions: insts}
+	for _, bench := range benches {
+		prof, err := trace.ByName(strings.TrimSpace(bench))
+		if err != nil {
+			return err
+		}
+		m, err := trace.EmitCorpusMember(dir, prof, seed, insts, chunk)
+		if err != nil {
+			return err
+		}
+		man.Members = append(man.Members, m)
+		fmt.Printf("  %-14s %s  sha256=%s...\n", m.Benchmark, m.File, m.SHA256[:12])
+	}
+	if err := trace.WriteCorpusManifest(dir, man); err != nil {
+		return err
+	}
+	if err := trace.VerifyCorpus(dir); err != nil {
+		return fmt.Errorf("verification after emit: %w", err)
+	}
+	fmt.Printf("corpus %s: %d members, %d instructions each, seed %d (verified)\n",
+		dir, len(man.Members), insts, seed)
+	return nil
+}
+
+// openedTrace is a disk-backed trace stream of either format, plus the
+// metadata the inspection commands print. Both formats stream with
+// bounded memory: v1 through a fixed read buffer, v2 through the
+// chunk window.
+type openedTrace struct {
+	src    trace.Source
+	name   string
+	count  int64
+	format string
+	// streamErr distinguishes mid-stream corruption from clean EOF.
+	streamErr func() error
+	// residency reports (peakBytes, boundBytes) after streaming; nil
+	// when the format has no per-chunk accounting (v1).
+	residency func() (int64, int64)
+	close     func() error
+}
+
+// openTraceStream sniffs the file magic and opens the right reader.
+func openTraceStream(path string) (*openedTrace, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
+	}
+	var magic [4]byte
+	if _, err := f.ReadAt(magic[:], 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: reading magic: %w", path, err)
+	}
+	if string(magic[:]) == "MCDC" {
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		c, err := trace.OpenChunked(f, st.Size(), 0)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		cur := c.Replay()
+		return &openedTrace{
+			src:       cur,
+			name:      c.Name(),
+			count:     c.Count(),
+			format:    fmt.Sprintf("chunked v2 (%d chunks of %d insts, %d bytes on disk)", c.Chunks(), c.ChunkInstructions(), c.CompressedBytes()),
+			streamErr: cur.Err,
+			residency: func() (int64, int64) { return c.PeakResidentBytes(), c.WindowBytes() },
+			close:     f.Close,
+		}, nil
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		f.Close()
+		return nil, err
 	}
 	r, err := trace.NewReader(f)
 	if err != nil {
 		f.Close()
-		return nil, nil, err
+		return nil, err
 	}
-	return r, f, nil
+	return &openedTrace{
+		src:       r,
+		name:      r.Name(),
+		count:     r.Count(),
+		format:    "monolithic v1",
+		streamErr: r.Err,
+		close:     f.Close,
+	}, nil
 }
 
 func printStats(path string) error {
-	r, f, err := openTrace(path)
+	ot, err := openTraceStream(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer ot.close()
 	var counts [isa.NumClasses]int64
 	var branches, taken int64
 	for {
-		in, ok := r.Next()
+		in, ok := ot.src.Next()
 		if !ok {
 			break
 		}
@@ -111,29 +238,33 @@ func printStats(path string) error {
 			}
 		}
 	}
-	if err := r.Err(); err != nil {
+	if err := ot.streamErr(); err != nil {
 		return err
 	}
-	fmt.Printf("trace %s: %q, %d instructions\n", path, r.Name(), r.Count())
+	fmt.Printf("trace %s: %q, %d instructions, %s\n", path, ot.name, ot.count, ot.format)
 	for c := 0; c < isa.NumClasses; c++ {
 		if counts[c] == 0 {
 			continue
 		}
 		fmt.Printf("  %-7s %9d (%5.2f%%)\n", isa.Class(c), counts[c],
-			100*float64(counts[c])/float64(r.Count()))
+			100*float64(counts[c])/float64(ot.count))
 	}
 	if branches > 0 {
 		fmt.Printf("  taken branch fraction: %.3f\n", float64(taken)/float64(branches))
+	}
+	if ot.residency != nil {
+		peak, bound := ot.residency()
+		fmt.Printf("  peak resident: %d bytes (window bound %d bytes)\n", peak, bound)
 	}
 	return nil
 }
 
 func replayTrace(path, scheme string) error {
-	r, f, err := openTrace(path)
+	ot, err := openTraceStream(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer ot.close()
 	cfg := mcd.DefaultConfig()
 	p, err := mcd.New(cfg)
 	if err != nil {
@@ -142,12 +273,19 @@ func replayTrace(path, scheme string) error {
 	if err := experiment.AttachScheme(p, experiment.Scheme(scheme), experiment.DefaultOptions()); err != nil {
 		return err
 	}
-	res, err := p.Run(r)
+	res, err := p.Run(ot.src)
 	if err != nil {
+		return err
+	}
+	if err := ot.streamErr(); err != nil {
 		return err
 	}
 	fmt.Printf("replayed %q (%d insts): time=%v energy=%.4gJ IPC=%.3f\n",
 		res.Benchmark, res.Metrics.Instructions, res.Metrics.ExecTime,
 		res.Metrics.EnergyJ, res.IPC)
+	if ot.residency != nil {
+		peak, bound := ot.residency()
+		fmt.Printf("peak resident: %d bytes (window bound %d bytes)\n", peak, bound)
+	}
 	return nil
 }

@@ -108,6 +108,24 @@ type Options struct {
 	// diskcache default).
 	//lint:allow cachekey says where results are stored, not what they are
 	CacheMaxBytes int64
+	// CorpusDir, when non-empty, makes RunMatrix resolve benchmark
+	// streams from a recorded trace corpus (cmd/tracegen -corpus)
+	// instead of generating them: members stream from disk through a
+	// bounded chunk window, so peak trace memory is independent of
+	// Instructions and of how many benchmarks the corpus holds. The
+	// corpus must have been recorded at this Options' Seed and
+	// Instructions (checked against the manifest); a member's bytes
+	// are bit-identical to the stream the harness would generate, so
+	// where the stream comes from never changes what a run computes.
+	//lint:allow cachekey names the stream's storage, not its contents; corpus replay is bit-identical to generation (differential-tested)
+	CorpusDir string
+	// RowFlush, when non-nil, is called by RunMatrix as benchmark rows
+	// complete, in benchmark order — the hook incremental artifact
+	// rendering hangs off, so long sweeps emit figure rows as they
+	// finish instead of only at the end. Purely observational: it
+	// receives copies and alters no result.
+	//lint:allow cachekey observation hook; receives results, never shapes them
+	RowFlush func(RowEvent)
 }
 
 // ctx returns the options' cancellation context.
@@ -242,10 +260,6 @@ func (o Options) schemeOptions() scheme.Options {
 	}
 }
 
-// traceSeedOffset decouples the workload stream's RNG from the clock
-// jitter seeds derived from the same user-facing seed.
-const traceSeedOffset = 11
-
 // runProfile is the uncached simulation. opt must already have
 // defaults applied and been validated. srcFn, when non-nil, supplies
 // the instruction stream (a shared-trace replay cursor); nil generates
@@ -268,7 +282,7 @@ func runProfile(ctx context.Context, prof trace.Profile, scheme Scheme, opt Opti
 	if srcFn != nil {
 		gen, err = srcFn()
 	} else {
-		gen, err = sharedReplays.source(prof, opt.Seed+traceSeedOffset, opt.Instructions)
+		gen, err = sharedReplays.source(prof, trace.StreamSeed(opt.Seed), opt.Instructions)
 		if err != nil {
 			err = invalidSpec(err)
 		}
@@ -327,6 +341,10 @@ type Matrix struct {
 	// timeout, cancellation, bad spec). The rest of the matrix is
 	// intact; renderers skip incomplete rows.
 	Failures []CellError
+	// Corpus carries streamed-trace residency and self-healing stats
+	// when the matrix ran from a corpus (Options.CorpusDir); nil
+	// otherwise.
+	Corpus *CorpusStats
 }
 
 // RunMatrix simulates every benchmark under every scheme (including
@@ -346,7 +364,39 @@ func RunMatrix(opt Options) (*Matrix, error) {
 // cancellation the partial matrix is returned alongside an
 // ErrCancelled error so callers can flush what finished.
 func RunMatrixContext(ctx context.Context, opt Options) (*Matrix, error) {
+	// Corpus resolution comes first: an unset benchmark list or
+	// instruction budget defaults from the manifest, and everything
+	// else about the options must agree with what the corpus was
+	// recorded at.
+	var corpus *trace.Corpus
+	if opt.CorpusDir != "" {
+		var err error
+		corpus, err = trace.OpenCorpus(opt.CorpusDir)
+		if err != nil {
+			return nil, invalidSpec(err)
+		}
+		if len(opt.Benchmarks) == 0 {
+			opt.Benchmarks = corpus.Benchmarks()
+		}
+		if opt.Instructions <= 0 {
+			opt.Instructions = corpus.Instructions()
+		}
+	}
 	opt = opt.withDefaults()
+	if corpus != nil {
+		if corpus.Seed() != opt.Seed || corpus.Instructions() != opt.Instructions {
+			return nil, invalidSpec(fmt.Errorf("experiment: corpus %s was recorded at seed %d / %d instructions, options ask for seed %d / %d",
+				opt.CorpusDir, corpus.Seed(), corpus.Instructions(), opt.Seed, opt.Instructions))
+		}
+		for _, b := range opt.Benchmarks {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("matrix: %w: %v", ErrCancelled, err)
+			}
+			if _, ok := corpus.Member(b); !ok {
+				return nil, invalidSpec(fmt.Errorf("experiment: corpus %s has no member %q", opt.CorpusDir, b))
+			}
+		}
+	}
 	controlled, err := matrixSchemes(opt)
 	if err != nil {
 		return nil, err
@@ -373,15 +423,39 @@ func RunMatrixContext(ctx context.Context, opt Options) (*Matrix, error) {
 	// With trace sharing on, the benchmark × scheme grid records each
 	// benchmark's instruction stream once and replays it into every
 	// scheme's cell; see tracebank.go. Off (or for callers outside the
-	// matrix) every cell generates its own stream as before.
+	// matrix) every cell generates its own stream as before. Corpus
+	// runs always go through the bank: it is what streams the member
+	// files.
 	var bank *traceBank
-	if traceSharingEnabled() {
-		bank = newTraceBank(opt, len(schemes))
+	if corpus != nil || traceSharingEnabled() {
+		bank = newTraceBank(opt, corpus, len(schemes))
+	}
+	lookup := trace.ByName
+	if corpus != nil {
+		lookup = corpus.Profile
 	}
 
 	var mu sync.Mutex
+	var flush *rowFlusher
+	if opt.RowFlush != nil {
+		flush = newRowFlusher(opt.Benchmarks, len(schemes), opt.RowFlush, func(bench string) (map[Scheme]*mcd.Result, bool) {
+			mu.Lock()
+			defer mu.Unlock()
+			row := make(map[Scheme]*mcd.Result, len(m.Results[bench]))
+			for s, r := range m.Results[bench] {
+				row[s] = r
+			}
+			return row, m.Complete(bench)
+		})
+	}
 	errs := forEachParallel(ctx, len(cells), func(i int) error {
 		c := cells[i]
+		if flush != nil {
+			// Success or failure, the cell is done for row-completion
+			// purposes; cells skipped by cancellation are drained after
+			// the sweep instead.
+			defer flush.cellDone(c.bench)
+		}
 		var res *mcd.Result
 		var err error
 		if bank != nil {
@@ -389,7 +463,7 @@ func RunMatrixContext(ctx context.Context, opt Options) (*Matrix, error) {
 			// or a cache hit, so recordings free as benchmarks drain.
 			defer bank.release(c.bench)
 			var prof trace.Profile
-			prof, err = trace.ByName(c.bench)
+			prof, err = lookup(c.bench)
 			if err != nil {
 				return invalidSpec(err)
 			}
@@ -418,6 +492,19 @@ func RunMatrixContext(ctx context.Context, opt Options) (*Matrix, error) {
 	for _, te := range errs {
 		c := cells[te.index]
 		m.Failures = append(m.Failures, CellError{Bench: c.bench, Scheme: c.scheme, Err: te.err})
+	}
+	if bank != nil {
+		stats := bank.close()
+		if corpus != nil {
+			m.Corpus = &stats
+		}
+	}
+	if flush != nil {
+		// Emit whatever rows the ordered frontier is still holding —
+		// complete rows stuck behind an earlier failed or cancelled
+		// bench, and the partial rows themselves — so interruption and
+		// completion share one flush path.
+		flush.drain()
 	}
 	if err := ctx.Err(); err != nil {
 		return m, fmt.Errorf("matrix: %w: %v", ErrCancelled, err)

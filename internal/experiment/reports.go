@@ -248,35 +248,77 @@ type comparisonSelector func(sav, perf, edp float64) float64
 
 func (m *Matrix) figure(id, title string, sel comparisonSelector) Report {
 	schemes := m.schemes()
+	lines := []string{figureHeader(schemes)}
+	skipped := 0
+	for _, b := range m.Benchmarks {
+		if !rowComplete(schemes, m.Results[b]) {
+			skipped++
+			continue
+		}
+		lines = append(lines, figureRow(b, schemes, m.Results[b], sel))
+	}
+	lines = append(lines, m.figureAverage(schemes, sel))
+	rep := Report{ID: id, Title: title, Lines: lines}
+	if n := figureSkippedNote(skipped); n != "" {
+		rep.Notes = append(rep.Notes, n)
+	}
+	return rep
+}
+
+// The helpers below are shared between the batch renderer above and
+// the incremental FigureStream (stream.go), which is what keeps a
+// row-by-row render byte-identical to an end-of-sweep one.
+
+// figureHeader renders a figure's column header line.
+func figureHeader(schemes []Scheme) string {
 	header := fmt.Sprintf("%-14s", "benchmark")
 	for _, s := range schemes {
 		header += fmt.Sprintf(" %12s", s)
 	}
-	lines := []string{header}
-	skipped := 0
-	for _, b := range m.Benchmarks {
-		if !m.Complete(b) {
-			skipped++
-			continue
-		}
-		row := fmt.Sprintf("%-14s", b)
-		for _, s := range schemes {
-			c := m.Compare(b, s)
-			row += fmt.Sprintf(" %11.2f%%", 100*sel(c.EnergySaving, c.PerfDegradation, c.EDPImprovement))
-		}
-		lines = append(lines, row)
+	return header
+}
+
+// rowComplete reports whether a row snapshot holds the baseline and
+// every scheme column (the per-row form of Matrix.Complete).
+func rowComplete(schemes []Scheme, row map[Scheme]*mcd.Result) bool {
+	if row[SchemeNone] == nil {
+		return false
 	}
+	for _, s := range schemes {
+		if row[s] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// figureRow renders one complete benchmark row.
+func figureRow(bench string, schemes []Scheme, row map[Scheme]*mcd.Result, sel comparisonSelector) string {
+	base := row[SchemeNone]
+	line := fmt.Sprintf("%-14s", bench)
+	for _, s := range schemes {
+		c := power.Compare(base.Metrics, row[s].Metrics)
+		line += fmt.Sprintf(" %11.2f%%", 100*sel(c.EnergySaving, c.PerfDegradation, c.EDPImprovement))
+	}
+	return line
+}
+
+// figureAverage renders the AVERAGE row.
+func (m *Matrix) figureAverage(schemes []Scheme, sel comparisonSelector) string {
 	avg := fmt.Sprintf("%-14s", "AVERAGE")
 	for _, s := range schemes {
 		c := m.MeanComparison(s, nil)
 		avg += fmt.Sprintf(" %11.2f%%", 100*sel(c.EnergySaving, c.PerfDegradation, c.EDPImprovement))
 	}
-	lines = append(lines, avg)
-	rep := Report{ID: id, Title: title, Lines: lines}
-	if skipped > 0 {
-		rep.Notes = append(rep.Notes, fmt.Sprintf("%d benchmark(s) omitted: cells failed (see matrix failure list)", skipped))
+	return avg
+}
+
+// figureSkippedNote renders the omitted-rows note ("" when none).
+func figureSkippedNote(skipped int) string {
+	if skipped == 0 {
+		return ""
 	}
-	return rep
+	return fmt.Sprintf("%d benchmark(s) omitted: cells failed (see matrix failure list)", skipped)
 }
 
 // Table3Report renders the PID-interval sweep against the adaptive

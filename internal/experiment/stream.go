@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+)
+
+// FigureStream renders a benchmark × scheme figure incrementally: the
+// banner and column header go out at construction, each complete row
+// as RunMatrix's RowFlush delivers it, and the AVERAGE line plus notes
+// at Finish. Because it shares every formatting helper with
+// Matrix.figure and RowFlush delivers rows in benchmark order, the
+// streamed bytes are identical to rendering the finished matrix — the
+// differential test pins that. The interrupted path needs nothing
+// special: RunMatrix drains the row frontier even on cancellation, so
+// Finish on the partial matrix completes the same file the old
+// SIGINT-only renderer produced.
+//
+// A FigureStream is not safe for concurrent use on its own; RunMatrix
+// serializes RowFlush calls, and Finish must come after RunMatrix
+// returns. Write errors stick: the first one stops output and comes
+// back from Finish.
+type FigureStream struct {
+	w       io.Writer
+	sel     comparisonSelector
+	schemes []Scheme
+	skipped int
+	err     error
+}
+
+// figureStreamSpecs maps the streamable figure IDs to their titles and
+// metric selectors, mirroring Matrix.Figure9/Figure10. (fig11 is not
+// streamable: it renders a benchmark subset with summary notes that
+// need the finished matrix.)
+var figureStreamSpecs = map[string]struct {
+	title string
+	sel   comparisonSelector
+}{
+	"fig9": {"Energy savings vs no-DVFS baseline",
+		func(sav, perf, edp float64) float64 { return sav }},
+	"fig10": {"Performance degradation vs no-DVFS baseline",
+		func(sav, perf, edp float64) float64 { return perf }},
+}
+
+// NewFigureStream starts streaming figure id (fig9 or fig10) for a
+// sweep configured by opt, writing the banner and header immediately.
+// Wire the returned stream's Row into Options.RowFlush and call Finish
+// with the matrix RunMatrix returns.
+func NewFigureStream(w io.Writer, id string, opt Options) (*FigureStream, error) {
+	spec, ok := figureStreamSpecs[id]
+	if !ok {
+		return nil, invalidSpec(fmt.Errorf("experiment: figure %q is not streamable", id))
+	}
+	schemes, err := matrixSchemes(opt)
+	if err != nil {
+		return nil, err
+	}
+	f := &FigureStream{w: w, sel: spec.sel, schemes: schemes}
+	f.line("==== %s: %s ====", id, spec.title)
+	f.line("%s", figureHeader(schemes))
+	return f, nil
+}
+
+// Row consumes one RowEvent: a complete row is rendered, an incomplete
+// one counted for the omitted-rows note.
+func (f *FigureStream) Row(ev RowEvent) {
+	if !rowComplete(f.schemes, ev.Results) {
+		f.skipped++
+		return
+	}
+	f.line("%s", figureRow(ev.Bench, f.schemes, ev.Results, f.sel))
+}
+
+// Finish writes the AVERAGE row and trailing notes from the finished
+// (possibly partial) matrix and returns the first write error.
+func (f *FigureStream) Finish(m *Matrix) error {
+	f.line("%s", m.figureAverage(f.schemes, f.sel))
+	if n := figureSkippedNote(f.skipped); n != "" {
+		f.line("note: %s", n)
+	}
+	f.line("")
+	return f.err
+}
+
+// line writes one formatted line, latching the first error.
+func (f *FigureStream) line(format string, args ...any) {
+	if f.err != nil {
+		return
+	}
+	_, f.err = fmt.Fprintf(f.w, format+"\n", args...)
+}

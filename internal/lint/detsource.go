@@ -25,9 +25,17 @@ import (
 //     legal: a *rand.Rand seeded from Config is the sanctioned idiom;
 //   - %p in format strings is banned — addresses change with every
 //     process and ASLR makes them useless even as stable labels.
+//
+// In the wider fsListPackages scope (the trace corpus and experiment
+// harness on top of the simulator), filesystem enumeration —
+// os.ReadDir, filepath.Walk/WalkDir/Glob, and the (os.File)
+// Readdir/Readdirnames/ReadDir methods — is banned too: listing order
+// is host state, and corpus resolution feeds the bit-identical-output
+// contract. Code that genuinely needs a listing goes through
+// internal/detfs.SortedNames, the one audited site.
 var DetSource = &analysis.Analyzer{
 	Name: "detsource",
-	Doc:  "forbids wall-clock, global-rand, and pointer-formatting nondeterminism sources in simulator packages",
+	Doc:  "forbids wall-clock, global-rand, pointer-formatting, and filesystem-enumeration nondeterminism sources in simulator packages",
 	Run:  runDetSource,
 }
 
@@ -41,8 +49,18 @@ var randConstructors = map[string]bool{
 	"NewPCG": true, "NewChaCha8": true,
 }
 
+// fsEnumMethods are the directory-enumeration methods on os.File; the
+// one method family detsource bans (all other method calls are fine).
+var fsEnumMethods = map[string]bool{"Readdir": true, "Readdirnames": true, "ReadDir": true}
+
+// fsEnumFix is the remediation every filesystem-enumeration diagnostic
+// points at.
+const fsEnumFix = "depends on host directory order; list through internal/detfs.SortedNames"
+
 func runDetSource(pass *analysis.Pass) error {
-	if !inScope(pass.Pkg.Path(), simPackages) {
+	sim := inScope(pass.Pkg.Path(), simPackages)
+	fsScope := inScope(pass.Pkg.Path(), fsListPackages)
+	if !sim && !fsScope {
 		return nil
 	}
 
@@ -59,17 +77,40 @@ func runDetSource(pass *analysis.Pass) error {
 		if !ok || fn.Pkg() == nil {
 			continue
 		}
-		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
-			continue // methods (e.g. (*rand.Rand).Float64) are fine
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			continue
 		}
-		switch fn.Pkg().Path() {
-		case "time":
-			if wallClockFuncs[fn.Name()] {
-				uses = append(uses, use{id, "wall clock time." + fn.Name() + " in a simulator package; simulated time must come from the clock model"})
+		if sig.Recv() != nil {
+			// Methods (e.g. (*rand.Rand).Float64) are fine — except the
+			// directory-enumeration family on an open os.File.
+			if fsScope && fn.Pkg().Path() == "os" && fsEnumMethods[fn.Name()] {
+				uses = append(uses, use{id, "filesystem enumeration (os.File)." + fn.Name() + " " + fsEnumFix})
 			}
-		case "math/rand", "math/rand/v2":
-			if !randConstructors[fn.Name()] {
-				uses = append(uses, use{id, "global math/rand." + fn.Name() + " in a simulator package; use a *rand.Rand seeded from Config"})
+			continue
+		}
+		if sim {
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					uses = append(uses, use{id, "wall clock time." + fn.Name() + " in a simulator package; simulated time must come from the clock model"})
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					uses = append(uses, use{id, "global math/rand." + fn.Name() + " in a simulator package; use a *rand.Rand seeded from Config"})
+				}
+			}
+		}
+		if fsScope {
+			switch fn.Pkg().Path() {
+			case "os":
+				if fn.Name() == "ReadDir" {
+					uses = append(uses, use{id, "filesystem enumeration os.ReadDir " + fsEnumFix})
+				}
+			case "path/filepath":
+				if fn.Name() == "Walk" || fn.Name() == "WalkDir" || fn.Name() == "Glob" {
+					uses = append(uses, use{id, "filesystem enumeration filepath." + fn.Name() + " " + fsEnumFix})
+				}
 			}
 		}
 	}
@@ -78,10 +119,13 @@ func runDetSource(pass *analysis.Pass) error {
 		pass.Reportf(u.id.Pos(), "%s", u.msg)
 	}
 
-	// Format strings: %p leaks addresses into output.
-	for _, f := range pass.Files {
-		for _, pos := range findPointerFormats(pass.Info, f) {
-			pass.Reportf(pos, "%%p formats a memory address, which differs between runs; print a stable identifier instead")
+	// Format strings: %p leaks addresses into output. Simulator scope
+	// only — the wider fs scope cares about listings, not labels.
+	if sim {
+		for _, f := range pass.Files {
+			for _, pos := range findPointerFormats(pass.Info, f) {
+				pass.Reportf(pos, "%%p formats a memory address, which differs between runs; print a stable identifier instead")
+			}
 		}
 	}
 	return nil

@@ -23,10 +23,11 @@ import (
 //
 // Division of labor with the per-package analyzers: inside detsource's
 // scope, wall-clock/global-rand/%p sources are detsource's findings
-// (reported with its messages), and inside detrange's scope map-range
-// sources are detrange's; dettaint reports only sources those
-// analyzers cannot see. Filesystem-enumeration and multi-ready-select
-// sources are dettaint's alone and are reported everywhere reachable.
+// (reported with its messages), inside detrange's scope map-range
+// sources are detrange's, and inside the fsListPackages scope
+// filesystem-enumeration sources are detsource's too; dettaint reports
+// only sources those analyzers cannot see. Multi-ready-select sources
+// are dettaint's alone and are reported everywhere reachable.
 //
 // Each diagnostic carries the full reachability path from an entry
 // point to the source, so the fix target is explicit: either break the
@@ -84,6 +85,8 @@ func ownedBySiblingAnalyzer(kind, pkgPath string) bool {
 	switch kind {
 	case "wallclock", "globalrand", "ptrformat":
 		return inScope(pkgPath, simPackages) // detsource's scope
+	case "fsorder":
+		return inScope(pkgPath, fsListPackages) // detsource's fs scope
 	case "maprange":
 		return inScope(pkgPath, renderPackages) // detrange's scope
 	}

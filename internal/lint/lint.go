@@ -69,6 +69,14 @@ var renderPackages = append([]string{"internal/experiment"}, simPackages...)
 // fronts it.
 var harnessPackages = []string{"internal/experiment", "internal/serve"}
 
+// fsListPackages extends detsource's filesystem-enumeration ban to the
+// trace corpus and experiment harness: directory listing order is host
+// state (filesystems disagree about it), and both corpus resolution
+// and artifact generation feed the bit-identical-output contract.
+// Listings these packages genuinely need must go through
+// internal/detfs.SortedNames, the one audited enumeration site.
+var fsListPackages = append([]string{"internal/trace", "internal/experiment"}, simPackages...)
+
 // inScope reports whether an import path matches one of the scope
 // suffixes ("internal/mcd" matches both "mcddvfs/internal/mcd" and the
 // fixture module's "fixture.example/internal/mcd").

@@ -1,0 +1,28 @@
+// Package detfs mirrors the real internal/detfs helper: the one
+// sanctioned directory-enumeration site. It sits outside the
+// fsListPackages scope, so the listing here is dettaint's finding —
+// reachable from the internal/trace roots through VerifiedNames — and
+// the audited waiver on the os.ReadDir line is what keeps the fixture
+// clean. Removing the waiver must make dettaint fire.
+package detfs
+
+import (
+	"os"
+	"sort"
+)
+
+// SortedNames returns dir's entry names in ascending lexical order — a
+// listing with no host-order dependence left in it.
+func SortedNames(dir string) ([]string, error) {
+	//lint:allow dettaint listing is sorted before use, removing the host-order dependence
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	sort.Strings(names)
+	return names, nil
+}

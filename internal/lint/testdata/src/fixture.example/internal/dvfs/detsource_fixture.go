@@ -7,6 +7,7 @@ package dvfs
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"time"
 )
 
@@ -26,6 +27,12 @@ func Reseed(n int64) int {
 // Label formats a map's address, which changes every process.
 func Label(m map[string]int) string {
 	return fmt.Sprintf("%p", m) // want detsource `memory address`
+}
+
+// Presets bakes a host directory listing into a simulator package.
+func Presets(dir string) []string {
+	names, _ := filepath.Glob(filepath.Join(dir, "*.preset")) // want detsource `filesystem enumeration filepath.Glob`
+	return names
 }
 
 // Owned is fine: an owned generator seeded from configuration is the

@@ -174,6 +174,18 @@ const (
 	dataRegionBase = 0x1000_0000
 )
 
+// streamSeedOffset decouples the workload stream's RNG from the other
+// RNG consumers (clock jitter, fault processes) that the harness
+// derives from the same user-facing seed.
+const streamSeedOffset = 11
+
+// StreamSeed maps a user-facing harness seed to the generator seed of
+// the workload stream. The experiment harness and tracegen's corpus
+// emitter share this mapping, which is what makes a corpus member
+// recorded at seed S bit-identical to the stream the harness would
+// generate itself for Options.Seed = S.
+func StreamSeed(seed int64) int64 { return seed + streamSeedOffset }
+
 // NewGenerator builds a generator producing exactly total instructions.
 func NewGenerator(p Profile, seed int64, total int64) (*Generator, error) {
 	if err := p.Validate(); err != nil {
