@@ -39,7 +39,7 @@ lint-budget:
 	fi
 
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkRunMatrix|BenchmarkChunkedReplay' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkRunMatrix|BenchmarkChunkedReplay|BenchmarkChip' -benchtime 1x -benchmem .
 
 # bench-compare re-runs the tracked benchmarks and gates against the
 # committed baseline; CI runs it as a blocking job. Two gates, each
@@ -61,12 +61,12 @@ bench:
 # After a deliberate performance change, refresh the baseline with
 # `make bench-baseline`.
 bench-compare:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkRunMatrix|BenchmarkChunkedReplay' -benchtime 1x -count=5 -benchmem . \
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkRunMatrix|BenchmarkChunkedReplay|BenchmarkChip' -benchtime 1x -count=5 -benchmem . \
 		| $(GO) run ./cmd/benchjson -out bench_new.json
 	$(GO) run ./cmd/benchjson -compare -tolerance 40 -alloc-tolerance 10 BENCH_baseline.json bench_new.json
 
 # bench-baseline rewrites BENCH_baseline.json from a fresh best-of-5
 # run; commit the result alongside the change that moved the numbers.
 bench-baseline:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkRunMatrix|BenchmarkChunkedReplay' -benchtime 1x -count=5 -benchmem . \
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkRunMatrix|BenchmarkChunkedReplay|BenchmarkChip' -benchtime 1x -count=5 -benchmem . \
 		| $(GO) run ./cmd/benchjson -out BENCH_baseline.json

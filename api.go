@@ -34,6 +34,7 @@ import (
 	"mcddvfs/internal/control"
 	"mcddvfs/internal/experiment"
 	"mcddvfs/internal/faults"
+	"mcddvfs/internal/governor"
 	"mcddvfs/internal/isa"
 	"mcddvfs/internal/mcd"
 	"mcddvfs/internal/power"
@@ -315,6 +316,58 @@ func NewMatrix(opt Options) (*Matrix, error) { return experiment.RunMatrix(opt) 
 // partial matrix is returned alongside an ErrCancelled error.
 func NewMatrixContext(ctx context.Context, opt Options) (*Matrix, error) {
 	return experiment.RunMatrixContext(ctx, opt)
+}
+
+type (
+	// ChipConfig configures an N-core MCD chip (Options.Cores and
+	// friends build one for you; construct directly for full control).
+	ChipConfig = mcd.ChipConfig
+	// ChipResult is a chip run's outcome: per-core Results plus the
+	// chip rollup and the governor's epoch trace.
+	ChipResult = mcd.ChipResult
+	// EpochSample is one entry of ChipResult.EpochTrace.
+	EpochSample = mcd.EpochSample
+)
+
+// GovernorInfo describes one registered chip-level power-cap governor.
+type GovernorInfo struct {
+	// Name is the stable identifier (Options.Governor, the CLIs'
+	// -governor, the service's "governor" field).
+	Name string
+	// Capping reports whether the governor enforces a power budget;
+	// "none" is the one registered governor that does not.
+	Capping bool
+	// Description is a one-line human-readable summary.
+	Description string
+}
+
+// Governors lists every registered chip-level governor in display
+// order. The governor registry (internal/governor) is the single
+// source of truth, exactly like the scheme registry: plugging a new
+// governor in there makes it appear here, in the CLIs' -governor
+// usage, and in the service's validation with no further wiring.
+func Governors() []GovernorInfo {
+	ds := governor.All()
+	out := make([]GovernorInfo, len(ds))
+	for i, d := range ds {
+		out[i] = GovernorInfo{Name: d.Name, Capping: d.Capping, Description: d.Description}
+	}
+	return out
+}
+
+// RunChip simulates an N-core chip: each core is a full MCD processor
+// running one benchmark (assigned round-robin from benchmarks; nil
+// picks a default heterogeneous mix), with opt.PowerCapW and
+// opt.Governor selecting the chip-level power-cap policy. With
+// opt.Cores <= 1, no budget, and no governor this is exactly the
+// single-core simulation.
+func RunChip(benchmarks []string, sch Scheme, opt Options) (*ChipResult, error) {
+	return experiment.RunChip(benchmarks, sch, opt)
+}
+
+// RunChipContext is RunChip with cancellation.
+func RunChipContext(ctx context.Context, benchmarks []string, sch Scheme, opt Options) (*ChipResult, error) {
+	return experiment.RunChipContext(ctx, benchmarks, sch, opt)
 }
 
 // ArtifactInfo describes one renderable artifact of the paper's

@@ -10,6 +10,7 @@ package mcddvfs
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"mcddvfs/internal/clock"
@@ -317,6 +318,38 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(insts*int64(b.N))/b.Elapsed().Seconds(), "sim-insts/s")
+}
+
+// BenchmarkChip measures whole-chip simulation throughput across the
+// cores × governor grid, with per-domain adaptive control on every core
+// and the capping governors holding a 7.5 W/core budget. The custom
+// metric is chip-level simulated instructions per second — the figure
+// the epoch-barrier worker pool exists to scale — so the 4-core rows
+// double as the parallel-speedup record next to the single-core ones.
+func BenchmarkChip(b *testing.B) {
+	uncached(b)
+	const instsPerCore = 30000
+	for _, cores := range []int{1, 4} {
+		for _, gov := range []string{"none", "static-split", "integral-gain"} {
+			b.Run(fmt.Sprintf("cores=%d/gov=%s", cores, gov), func(b *testing.B) {
+				opt := benchOpt(instsPerCore)
+				opt.Cores = cores
+				opt.Governor = gov
+				if gov != "none" {
+					opt.PowerCapW = 7.5 * float64(cores)
+				}
+				var total int64
+				for i := 0; i < b.N; i++ {
+					res, err := experiment.RunChip(nil, experiment.SchemeAdaptive, opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += res.Metrics.Instructions
+				}
+				b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "sim-insts/s")
+			})
+		}
+	}
 }
 
 // BenchmarkAdaptiveObserve measures one controller sampling tick.

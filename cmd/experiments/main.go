@@ -11,8 +11,9 @@
 //
 // Artifact IDs: table1 table2 fig7 fig8 fig9 fig10 fig11 table3 table4
 // remarks ablation transitions global qref interfaces partitions delays
-// seeds summary robustness. The robustness sweep only runs when asked
-// for explicitly (-faults or -only robustness), never under -all.
+// seeds summary robustness capsweep captransient. The robustness sweep
+// and the chip artifacts (capsweep, captransient) only run when asked
+// for explicitly, never under -all.
 //
 // Simulation results persist across runs in results/.cache by default
 // (-cache-dir); delete that directory or pass -cache-dir "" to force a
@@ -74,6 +75,11 @@ func main() {
 		cacheMaxBytes = cliflags.CacheMaxBytes(flag.CommandLine)
 		grace         = cliflags.ShutdownGrace(flag.CommandLine, 0)
 
+		cores        = cliflags.Cores(flag.CommandLine)
+		powerCap     = cliflags.PowerCap(flag.CommandLine)
+		governorName = cliflags.Governor(flag.CommandLine)
+		governorGain = cliflags.GovernorGain(flag.CommandLine)
+
 		useCache   = flag.Bool("cache", true, "memoize simulation results across artifacts (identical output, fewer simulations)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -130,6 +136,7 @@ func main() {
 	opt := experiment.Options{
 		Instructions: *insts, Seed: *seed, Timeout: *timeout, Context: ctx,
 		CacheDir: *cacheDir, CacheMaxBytes: *cacheMaxBytes, CorpusDir: *corpusDir,
+		Cores: *cores, PowerCapW: *powerCap, Governor: *governorName, GovernorGain: *governorGain,
 	}
 	if *schemesCSV != "" {
 		for _, s := range strings.Split(*schemesCSV, ",") {
@@ -369,6 +376,21 @@ func main() {
 	if *faultsSpec != "" || want["robustness"] {
 		rep, err := experiment.FaultSweepContext(ctx, opt,
 			[]string{"adpcm_encode", "gsm_decode", "gzip", "swim"}, intensities)
+		emit(rep, err)
+	}
+	// The chip artifacts, like robustness, run only when asked for
+	// explicitly — a multi-core governor sweep is not part of the
+	// paper's single-core reproduction that -all regenerates.
+	if want["capsweep"] {
+		rep, err := experiment.CapSweepContext(ctx, opt)
+		emit(rep, err)
+		if *asSVG && *out != "" {
+			svg, err := experiment.CapSweepSVG(ctx, opt)
+			writeSVG("capsweep", svg, err)
+		}
+	}
+	if want["captransient"] {
+		rep, err := experiment.CapTransientContext(ctx, opt)
 		emit(rep, err)
 	}
 

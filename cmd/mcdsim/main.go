@@ -46,6 +46,11 @@ func main() {
 		cacheMaxBytes = cliflags.CacheMaxBytes(flag.CommandLine)
 		grace         = cliflags.ShutdownGrace(flag.CommandLine, 0)
 
+		cores        = cliflags.Cores(flag.CommandLine)
+		powerCap     = cliflags.PowerCap(flag.CommandLine)
+		governorName = cliflags.Governor(flag.CommandLine)
+		governorGain = cliflags.GovernorGain(flag.CommandLine)
+
 		split     = flag.Bool("split", false, "use the 5-domain (split front end) partition")
 		prefetch  = flag.Bool("prefetch", false, "enable the next-line L1D prefetcher")
 		noForward = flag.Bool("noforward", false, "disable store-to-load forwarding")
@@ -93,7 +98,24 @@ func main() {
 		machine.Transitions = dvfs.TransmetaTransitions()
 	}
 	machine.Faults = faults.Intensity(*faultLvl, *seed)
-	opt := experiment.Options{Instructions: *insts, Seed: *seed, Machine: &machine, Timeout: *timeout, CacheDir: *cacheDir, CacheMaxBytes: *cacheMaxBytes}
+	opt := experiment.Options{Instructions: *insts, Seed: *seed, Machine: &machine, Timeout: *timeout, CacheDir: *cacheDir, CacheMaxBytes: *cacheMaxBytes,
+		Cores: *cores, PowerCapW: *powerCap, Governor: *governorName, GovernorGain: *governorGain}
+
+	if *cores > 1 || *powerCap > 0 || (*governorName != "" && *governorName != "none") {
+		// Chip mode: every core runs -bench (a homogeneous chip; the
+		// experiments CLI's capsweep/captransient artifacts cover the
+		// heterogeneous mixes).
+		cr, err := experiment.RunChipContext(ctx, []string{*bench}, experiment.Scheme(*scheme), opt)
+		if err != nil {
+			exitErr(err)
+		}
+		printChip(cr, *verbose)
+		if *compare {
+			fmt.Fprintln(os.Stderr, "mcdsim: -compare applies to single-core runs only; ignored")
+		}
+		return
+	}
+
 	res, err := experiment.RunOneContext(ctx, *bench, experiment.Scheme(*scheme), opt)
 	if err != nil {
 		exitErr(err)
@@ -146,6 +168,43 @@ func experimentCompare(base, run *mcd.Result) cmp {
 	perf := float64(run.Metrics.ExecTime)/float64(base.Metrics.ExecTime) - 1
 	edp := 1 - run.Metrics.EDP()/base.Metrics.EDP()
 	return cmp{saveE, perf, edp}
+}
+
+// printChip summarizes a chip run: the chip rollup, one line per core,
+// and (with -v) the governor's epoch trace tail.
+func printChip(cr *mcd.ChipResult, verbose bool) {
+	fmt.Printf("cores            %d\n", len(cr.Cores))
+	fmt.Printf("instructions     %d\n", cr.Metrics.Instructions)
+	fmt.Printf("exec time        %v\n", cr.Metrics.ExecTime)
+	fmt.Printf("energy           %.4g J\n", cr.Metrics.EnergyJ)
+	fmt.Printf("EDP              %.4g J*s\n", cr.Metrics.EDP())
+	fmt.Printf("mean power       %.2f W\n", cr.MeanPowerW())
+	if cr.PowerCapW > 0 {
+		fmt.Printf("power budget     %.2f W\n", cr.PowerCapW)
+	}
+	fmt.Println()
+	fmt.Printf("%-5s %-14s %10s %12s %10s %10s\n",
+		"core", "benchmark", "insts", "time", "energy(J)", "MIPS")
+	for i, c := range cr.Cores {
+		fmt.Printf("%-5d %-14s %10d %12v %10.4g %10.0f\n",
+			i, c.Benchmark, c.Metrics.Instructions, c.Metrics.ExecTime, c.Metrics.EnergyJ, c.Metrics.IPS()/1e6)
+	}
+	if !verbose || len(cr.EpochTrace) == 0 {
+		return
+	}
+	fmt.Printf("\ngovernor epoch trace (%d epochs, last 10):\n", len(cr.EpochTrace))
+	start := len(cr.EpochTrace) - 10
+	if start < 0 {
+		start = 0
+	}
+	for _, s := range cr.EpochTrace[start:] {
+		caps := make([]string, len(s.CapMHz))
+		for i, m := range s.CapMHz {
+			caps[i] = fmt.Sprintf("%.0f", m)
+		}
+		fmt.Printf("  %8.1f us  %7.2f W  caps %s MHz\n",
+			s.Time.Seconds()*1e6, s.TotalPowerW(), strings.Join(caps, " "))
+	}
 }
 
 func printRun(res *mcd.Result, verbose bool) {

@@ -14,6 +14,8 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"mcddvfs/internal/governor"
 )
 
 // Timeout registers -timeout: the per-run deadline.
@@ -29,6 +31,28 @@ func CacheDir(fs *flag.FlagSet, def string) *string {
 // CacheMaxBytes registers -cache-max-bytes: the disk-cache size cap.
 func CacheMaxBytes(fs *flag.FlagSet) *int64 {
 	return fs.Int64("cache-max-bytes", 0, "size cap for -cache-dir before LRU eviction (0 = 2 GiB default)")
+}
+
+// Cores registers -cores: the simulated chip's core count.
+func Cores(fs *flag.FlagSet) *int {
+	return fs.Int("cores", 1, "number of cores on the simulated chip (1 = the classic single-core machine)")
+}
+
+// PowerCap registers -power-cap: the chip power budget.
+func PowerCap(fs *flag.FlagSet) *float64 {
+	return fs.Float64("power-cap", 0, "chip power budget in watts (0 = unbudgeted; >0 selects the integral-gain governor unless -governor names another)")
+}
+
+// Governor registers -governor: the chip-level power-cap governor. The
+// usage string reads the registry, so new governor plugins surface in
+// -h with no CLI edits.
+func Governor(fs *flag.FlagSet) *string {
+	return fs.String("governor", "", `chip power-cap governor, one of: `+governor.NamesList()+` ("" = none)`)
+}
+
+// GovernorGain registers -governor-gain: the governor's integral gain.
+func GovernorGain(fs *flag.FlagSet) *float64 {
+	return fs.Float64("governor-gain", 0, "governor integral gain in MHz per watt (0 = the governor's calibrated default)")
 }
 
 // ShutdownGrace registers -shutdown-grace: how long in-flight work may

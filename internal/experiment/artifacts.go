@@ -63,6 +63,8 @@ var artifactCatalog = []ArtifactInfo{
 	{ID: "fig11", Title: "EDP improvement, fast-varying group", SVG: true},
 	{ID: "summary", Title: "Headline means vs the paper's reported results"},
 	{ID: "robustness", Title: "EDP degradation vs control-loop fault intensity"},
+	{ID: "capsweep", Title: "Chip EDP and per-core throughput vs power budget, per governor", SVG: true},
+	{ID: "captransient", Title: "Chip power-budget reallocation transient (integral-gain governor)"},
 }
 
 // Artifacts returns the artifact catalog in stable display order.
@@ -190,6 +192,10 @@ func renderArtifactReport(ctx context.Context, id string, opt Options) (Report, 
 			benchmarks = robustnessBenchmarks
 		}
 		return FaultSweepContext(ctx, opt, benchmarks, nil)
+	case "capsweep":
+		return CapSweepContext(ctx, opt)
+	case "captransient":
+		return CapTransientContext(ctx, opt)
 	}
 	return Report{}, invalidSpec(fmt.Errorf("experiment: artifact %q has no report rendering", id))
 }
@@ -224,6 +230,8 @@ func renderArtifactSVG(ctx context.Context, id string, opt Options) (string, err
 			return m.Figure9SVG()
 		}
 		return m.Figure10SVG()
+	case "capsweep":
+		return CapSweepSVG(ctx, opt)
 	}
 	return "", invalidSpec(fmt.Errorf("experiment: artifact %q has no SVG rendering", id))
 }

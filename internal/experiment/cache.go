@@ -74,6 +74,7 @@ func ResetCache() {
 	resultCache.hits = 0
 	resultCache.misses = 0
 	resultCache.mu.Unlock()
+	resetChipCache()
 	sharedReplays.reset()
 }
 
@@ -177,6 +178,13 @@ func DiskCacheStats() (diskcache.Stats, error) {
 // retires every existing on-disk entry at once. opt must already have
 // defaults applied.
 func cacheKey(prof trace.Profile, scheme Scheme, opt Options) ([sha256.Size]byte, error) {
+	if opt.chipMode() {
+		// Chip-mode cells key on the chip shape as well — core count,
+		// power budget, governor, gain — in a disjoint keyspace (see
+		// chipCacheKey). The default single-core options never take
+		// this branch, so the legacy key bytes are untouched.
+		return chipCacheKey(chipProfiles(prof, opt), scheme, opt)
+	}
 	mutated := make([]control.Config, isa.NumExecDomains)
 	for d := 0; d < isa.NumExecDomains; d++ {
 		cfg := control.DefaultConfig(isa.ExecDomain(d))

@@ -14,6 +14,7 @@ import (
 
 	"mcddvfs/internal/control"
 	"mcddvfs/internal/faults"
+	"mcddvfs/internal/governor"
 	"mcddvfs/internal/mcd"
 	"mcddvfs/internal/power"
 	"mcddvfs/internal/scheme"
@@ -126,6 +127,54 @@ type Options struct {
 	// receives copies and alters no result.
 	//lint:allow cachekey observation hook; receives results, never shapes them
 	RowFlush func(RowEvent)
+	// Cores lifts a run onto an N-core chip: every matrix cell (and
+	// RunProfile call) simulates Cores copies of the machine running
+	// the benchmark, coupled only by the chip governor, and reports the
+	// chip aggregate. 0 or 1 is the single-core path — exactly the
+	// pre-chip code, byte for byte.
+	Cores int
+	// PowerCapW is the chip-wide power budget in watts a capping
+	// governor holds the chip to (0 = unbudgeted). Setting it without
+	// naming a Governor selects "integral-gain".
+	PowerCapW float64
+	// Governor names the chip-level power-cap policy from the governor
+	// registry ("" = "none"; governor.Names() lists everything
+	// registered).
+	Governor string
+	// GovernorGain overrides the governor's integral gain in MHz of
+	// frequency allowance per watt of budget error per epoch (0 = the
+	// governor's default).
+	GovernorGain float64
+}
+
+// chipMode reports whether the options ask for the N-core chip path.
+// The default — one core, no budget, no (or the "none") governor —
+// must take the legacy single-core path so every existing artifact
+// renders byte-identically.
+func (o Options) chipMode() bool {
+	return o.Cores > 1 || o.PowerCapW > 0 ||
+		(o.Governor != "" && o.Governor != governor.DefaultName)
+}
+
+// chipCores is the normalized core count (at least one).
+func (o Options) chipCores() int {
+	if o.Cores < 1 {
+		return 1
+	}
+	return o.Cores
+}
+
+// governorName resolves the effective governor: an explicit name wins,
+// a bare power budget implies the integral-gain regulator, and the
+// default is "none".
+func (o Options) governorName() string {
+	if o.Governor != "" {
+		return o.Governor
+	}
+	if o.PowerCapW > 0 {
+		return "integral-gain"
+	}
+	return governor.DefaultName
 }
 
 // ctx returns the options' cancellation context.
@@ -210,6 +259,17 @@ func runCell(ctx context.Context, prof trace.Profile, scheme Scheme, opt Options
 	if err := validateRun(prof, scheme, opt); err != nil {
 		return nil, err
 	}
+	if opt.chipMode() {
+		// A chip-mode cell runs the benchmark on every core of an
+		// N-core chip and reports the chip aggregate. The trace-bank
+		// hook is single-stream and does not apply: each core
+		// generates its own per-seed stream.
+		cr, err := runChipCell(ctx, chipProfiles(prof, opt), scheme, opt)
+		if err != nil {
+			return nil, err
+		}
+		return cr.Aggregate(), nil
+	}
 	return cachedRun(ctx, prof, scheme, opt, func() (*mcd.Result, error) {
 		return runProfile(ctx, prof, scheme, opt, srcFn)
 	})
@@ -237,7 +297,53 @@ func validateRun(prof trace.Profile, sch Scheme, opt Options) error {
 			return invalidSpec(err)
 		}
 	}
+	if _, err := validateChip(opt); err != nil {
+		return err
+	}
 	return nil
+}
+
+// validateChip checks the chip-level options against the governor
+// registry and returns the resolved governor descriptor. The defaults
+// (one core, no budget, no governor) always validate.
+func validateChip(opt Options) (governor.Descriptor, error) {
+	if opt.Cores < 0 {
+		return governor.Descriptor{}, invalidSpec(fmt.Errorf("experiment: negative core count %d", opt.Cores))
+	}
+	if opt.Cores > mcd.MaxChipCores {
+		return governor.Descriptor{}, invalidSpec(fmt.Errorf("experiment: %d cores exceeds the %d-core chip bound", opt.Cores, mcd.MaxChipCores))
+	}
+	if opt.PowerCapW < 0 {
+		return governor.Descriptor{}, invalidSpec(fmt.Errorf("experiment: negative power cap %v W", opt.PowerCapW))
+	}
+	if opt.GovernorGain < 0 {
+		return governor.Descriptor{}, invalidSpec(fmt.Errorf("experiment: negative governor gain %v MHz/W", opt.GovernorGain))
+	}
+	name := opt.governorName()
+	desc, ok := governor.Lookup(name)
+	if !ok {
+		return governor.Descriptor{}, invalidSpec(fmt.Errorf("experiment: unknown governor %q (registered: %s)", name, governor.NamesList()))
+	}
+	if opt.PowerCapW > 0 && !desc.Capping {
+		return governor.Descriptor{}, invalidSpec(fmt.Errorf("experiment: governor %q does not cap power; a power budget needs one of the capping governors", name))
+	}
+	if desc.Validate != nil && desc.Capping {
+		if err := desc.Validate(opt.governorOptions()); err != nil {
+			return governor.Descriptor{}, invalidSpec(err)
+		}
+	}
+	return desc, nil
+}
+
+// governorOptions projects the harness options onto the governor
+// registry's view.
+func (o Options) governorOptions() governor.Options {
+	return governor.Options{
+		Cores:       o.chipCores(),
+		BudgetW:     o.PowerCapW,
+		GainMHzPerW: o.GovernorGain,
+		Range:       o.machine().Range,
+	}
 }
 
 // lookupScheme resolves a scheme name against the registry; unknown
@@ -370,6 +476,11 @@ func RunMatrixContext(ctx context.Context, opt Options) (*Matrix, error) {
 	// recorded at.
 	var corpus *trace.Corpus
 	if opt.CorpusDir != "" {
+		if opt.chipMode() {
+			// Corpus members are recorded at one stream seed; chip cores
+			// run per-core seeds, so a corpus cannot feed them.
+			return nil, invalidSpec(fmt.Errorf("experiment: chip-mode runs (Cores/PowerCapW/Governor) cannot stream from a trace corpus; drop CorpusDir or the chip options"))
+		}
 		var err error
 		corpus, err = trace.OpenCorpus(opt.CorpusDir)
 		if err != nil {

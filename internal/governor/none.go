@@ -1,0 +1,19 @@
+package governor
+
+import "mcddvfs/internal/mcd"
+
+// The no-op baseline: no caps, no epoch barriers. Its New hook returns
+// a nil mcd.Governor, which Chip.RunContext reads as "run every core
+// free to completion" — the property that keeps a default 1-core chip
+// bit-identical to the single-processor path.
+func init() {
+	Register(Descriptor{
+		Name:        DefaultName,
+		Order:       0,
+		Capping:     false,
+		Description: "no chip-level power control; cores run free (the single-core default)",
+		New: func(Options) (mcd.Governor, error) {
+			return nil, nil
+		},
+	})
+}

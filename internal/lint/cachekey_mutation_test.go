@@ -11,16 +11,22 @@ import (
 )
 
 // TestCacheKeyCatchesDroppedHashField proves the cachekey analyzer
-// guards the real cache key, not just the fixtures: it type-checks a
-// copy of the repo with the Instructions field-write deleted from
-// cacheKey's hash struct and requires the analyzer to fail on it. The
-// unmutated copy is checked clean first, so the diagnostic is
-// attributable to the deletion alone.
+// guards the real cache keys, not just the fixtures: it type-checks a
+// copy of the repo with a field-write deleted from a key hash struct
+// and requires the analyzer to fail on it. The unmutated copy is
+// checked clean first, so the diagnostic is attributable to the
+// deletion alone.
 //
-// Instructions is the right field to drop: Seed would survive the same
-// deletion legitimately (cacheKey hashes the machine config, which
-// machine() derives from the seed), so a Seed-line deletion must NOT
-// fail — exactly the transitive coverage the call graph exists to see.
+// Coverage is reachability-based, so a field mentioned on any path
+// from cacheKey stays covered: Instructions must be deleted from BOTH
+// the legacy struct (cache.go) and the chip struct (chip.go) to go
+// dark — dropping it from just one is the byte-stability tests' job
+// (TestCacheKeyGolden pins the legacy struct). Seed would survive even
+// the double deletion legitimately (cacheKey hashes the machine
+// config, which machine() derives from the seed) — exactly the
+// transitive coverage the call graph exists to see. GovernorGain is
+// the chip-era twin: it reaches cacheKey only through chipCacheKey's
+// hash struct, so a single chip-side deletion must fail.
 func TestCacheKeyCatchesDroppedHashField(t *testing.T) {
 	if testing.Short() {
 		t.Skip("copies and re-type-checks the module")
@@ -33,30 +39,55 @@ func TestCacheKeyCatchesDroppedHashField(t *testing.T) {
 		t.Fatalf("repo root not at %s: %v", root, err)
 	}
 
-	dst := t.TempDir()
-	copyModule(t, root, dst)
+	cases := []struct {
+		name      string
+		drops     map[string]string // file under the repo root -> literal line to delete
+		wantField string
+	}{
+		{
+			name: "instructions-from-every-key",
+			drops: map[string]string{
+				"internal/experiment/cache.go": "Instructions:     opt.Instructions,",
+				"internal/experiment/chip.go":  "Instructions:     opt.Instructions,",
+			},
+			wantField: "Options.Instructions",
+		},
+		{
+			name: "governor-gain-from-chip-key",
+			drops: map[string]string{
+				"internal/experiment/chip.go": "GovernorGain:     opt.GovernorGain,",
+			},
+			wantField: "Options.GovernorGain",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dst := t.TempDir()
+			copyModule(t, root, dst)
 
-	if ds := cachekeyDiags(t, dst); len(ds) != 0 {
-		t.Fatalf("unmutated copy is not clean: %v", ds)
-	}
+			if ds := cachekeyDiags(t, dst); len(ds) != 0 {
+				t.Fatalf("unmutated copy is not clean: %v", ds)
+			}
+			for rel, dropped := range tc.drops {
+				path := filepath.Join(dst, filepath.FromSlash(rel))
+				src, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !strings.Contains(string(src), dropped) {
+					t.Fatalf("%s no longer contains %q; update this test alongside the key structs", path, dropped)
+				}
+				mutated := strings.Replace(string(src), dropped, "", 1)
+				if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
 
-	const dropped = "Instructions:     opt.Instructions,"
-	cachePath := filepath.Join(dst, "internal", "experiment", "cache.go")
-	src, err := os.ReadFile(cachePath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(string(src), dropped) {
-		t.Fatalf("%s no longer contains %q; update this test alongside cacheKey", cachePath, dropped)
-	}
-	mutated := strings.Replace(string(src), dropped, "", 1)
-	if err := os.WriteFile(cachePath, []byte(mutated), 0o644); err != nil {
-		t.Fatal(err)
-	}
-
-	ds := cachekeyDiags(t, dst)
-	if len(ds) != 1 || !strings.Contains(ds[0], "Options.Instructions") {
-		t.Fatalf("dropping %q from cacheKey: got diagnostics %v, want exactly one naming Options.Instructions", dropped, ds)
+			ds := cachekeyDiags(t, dst)
+			if len(ds) != 1 || !strings.Contains(ds[0], tc.wantField) {
+				t.Fatalf("dropping %v: got diagnostics %v, want exactly one naming %s", tc.drops, ds, tc.wantField)
+			}
+		})
 	}
 }
 

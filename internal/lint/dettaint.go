@@ -45,6 +45,10 @@ var taintRootPackages = []string{
 	"internal/clock",
 	"internal/scheme",
 	"internal/trace",
+	// Since the multi-core chip PR: a governor's Apportion runs inside
+	// the simulation loop at every epoch barrier, so any nondeterminism
+	// it reaches lands in chip results.
+	"internal/governor",
 }
 
 func runDetTaint(pass *analysis.ProgramPass) error {

@@ -1,0 +1,54 @@
+// Package chipkey is a cachekey fixture for the chip-era key split: an
+// options package whose cacheKey branches to a second hash function for
+// chip-shaped options, the shape the multi-core chip PR gave the real
+// harness. Coverage is reachability-based from cacheKey, so fields
+// hashed only on the chip branch are still covered — and a chip field
+// the run path reads but neither branch hashes is the stale-cache bug.
+package chipkey
+
+import (
+	"crypto/sha256"
+	"fmt"
+)
+
+// Options configures a fixture run, single-core or chip.
+type Options struct {
+	// Width is hashed by both key branches: covered.
+	Width int
+	// Cores selects chip mode; read by chipMode (reachable from
+	// cacheKey) and hashed by chipKey. Covered twice over.
+	Cores int
+	// PowerCapW is hashed only on the chip branch — reachability-based
+	// coverage means one branch is enough. No diagnostic.
+	PowerCapW float64
+	// GovernorGain is read by RunChip but missing from both hash
+	// branches — the chip-era instance of the stale-cache bug class.
+	GovernorGain float64 // want cachekey `Options.GovernorGain is read on the run path \(chipkey.go:\d+\) but never enters the cacheKey hash`
+}
+
+func (o Options) chipMode() bool { return o.Cores > 1 || o.PowerCapW > 0 }
+
+func cacheKey(opt Options) string {
+	if opt.chipMode() {
+		return chipKey(opt)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(fmt.Sprintf("w=%d;", opt.Width))))
+}
+
+// chipKey hashes the chip shape on top of the single-core inputs; it is
+// reachable from cacheKey, so everything it reads counts as covered.
+func chipKey(opt Options) string {
+	blob := fmt.Sprintf("w=%d;n=%d;cap=%g;", opt.Width, opt.Cores, opt.PowerCapW)
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(blob)))
+}
+
+// RunChip is the exported run-path entry point: it consumes the chip
+// fields, including the unhashed gain.
+func RunChip(opt Options) string {
+	key := cacheKey(opt)
+	sum := 0.0
+	for i := 0; i < opt.Cores; i++ {
+		sum += opt.GovernorGain * (opt.PowerCapW / float64(opt.Width+1))
+	}
+	return fmt.Sprintf("%s=%g", key, sum)
+}

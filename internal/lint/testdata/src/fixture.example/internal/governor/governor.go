@@ -1,0 +1,35 @@
+// Package governor mirrors the real chip-governor registry: since the
+// multi-core chip PR its functions are dettaint roots — a governor's
+// Apportion runs inside the simulation loop at every epoch barrier, so
+// any nondeterminism it reaches lands in chip results.
+package governor
+
+// Apportion splits a frequency allowance across cores in proportion to
+// demand: pure arithmetic over its inputs, deterministic. No
+// diagnostic.
+func Apportion(allowMHz float64, powerW []float64) []float64 {
+	total := 0.0
+	for _, w := range powerW {
+		total += w
+	}
+	out := make([]float64, len(powerW))
+	for i, w := range powerW {
+		share := 1.0 / float64(len(powerW))
+		if total > 0 {
+			share = w / total
+		}
+		out[i] = allowMHz * share
+	}
+	return out
+}
+
+// firstReading returns whichever power meter responds first: scheduler
+// nondeterminism inside a root package, caught without any call hops.
+func firstReading(a, b chan float64) float64 {
+	select { // want dettaint `select with multiple communication cases`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

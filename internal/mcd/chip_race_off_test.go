@@ -1,0 +1,7 @@
+//go:build !race
+
+package mcd_test
+
+// raceEnabled reports whether this test binary was built with -race;
+// wall-clock assertions skip under instrumentation.
+const raceEnabled = false

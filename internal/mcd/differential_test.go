@@ -152,6 +152,145 @@ func TestEventCoreMatchesOracleRandomized(t *testing.T) {
 	}
 }
 
+// noopGovernor keeps every core uncapped but, by being non-nil, forces
+// the chip through its epoch-barrier machinery: pause every core at the
+// epoch boundary, sense power, actuate (uncapped) caps, resume. It
+// exists to prove the barriers themselves are invisible in the Results.
+type noopGovernor struct{}
+
+func (noopGovernor) Apportion(clock.Time, []float64, []float64) {}
+
+// chipDiffRun executes one configuration through the legacy
+// single-Processor path and as a one-core Chip — governorless (the
+// barrier-free fast path) or under a no-op governor (every epoch
+// barrier taken) — and requires the chip's core Result to be
+// bit-identical to the legacy Result, structurally and on the
+// serialized artifact bytes. This is the refactor's compatibility
+// contract: the chip is a superset of the processor, not a fork of it.
+func chipDiffRun(t *testing.T, label string, cfg Config, profile string, insts int64, attach func(*Processor), barriers bool) {
+	t.Helper()
+	prof, err := trace.ByName(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newGen := func() trace.Source {
+		t.Helper()
+		gen, err := trace.NewGenerator(prof, cfg.Seed+100, insts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gen
+	}
+
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attach != nil {
+		attach(p)
+	}
+	legacy, err := p.Run(newGen())
+	if err != nil {
+		t.Fatalf("%s: processor: %v", label, err)
+	}
+
+	chip, err := NewChip(ChipConfig{Cores: []Config{cfg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attach != nil {
+		attach(chip.Core(0))
+	}
+	if barriers {
+		chip.SetGovernor(noopGovernor{})
+	}
+	cres, err := chip.Run([]trace.Source{newGen()})
+	if err != nil {
+		t.Fatalf("%s: chip(barriers=%v): %v", label, barriers, err)
+	}
+	got := cres.Cores[0]
+	if !reflect.DeepEqual(got, legacy) {
+		t.Errorf("%s: 1-core chip (barriers=%v) diverged from the single processor:\nchip:      %+v\nprocessor: %+v",
+			label, barriers, got, legacy)
+	}
+	gj, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lj, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gj, lj) {
+		t.Errorf("%s: serialized artifacts differ between chip core and processor (barriers=%v)", label, barriers)
+	}
+	if cres.Metrics != legacy.Metrics {
+		t.Errorf("%s: chip rollup %+v differs from the single core's metrics %+v", label, cres.Metrics, legacy.Metrics)
+	}
+}
+
+// TestChipSingleCoreMatchesProcessor pins the chip refactor's gate on
+// the default machine: a 1-core chip — with and without epoch barriers
+// — is the single-processor path, bit for bit.
+func TestChipSingleCoreMatchesProcessor(t *testing.T) {
+	chipDiffRun(t, "uncontrolled", DefaultConfig(), "gcc", 20000, nil, false)
+	chipDiffRun(t, "uncontrolled+barriers", DefaultConfig(), "gcc", 20000, nil, true)
+	chipDiffRun(t, "adaptive", DefaultConfig(), "mcf", 20000, attachAdaptive, false)
+	chipDiffRun(t, "adaptive+barriers", DefaultConfig(), "mcf", 20000, attachAdaptive, true)
+}
+
+// TestChipSingleCoreMatchesProcessorRandomized sweeps the 1-core-chip
+// equivalence across random configurations × trace profiles × control
+// schemes × fault intensities, half the cases with the no-op governor's
+// epoch barriers active.
+func TestChipSingleCoreMatchesProcessorRandomized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep is slow")
+	}
+	profiles := trace.Names()
+	attachers := []struct {
+		name string
+		fn   func(*Processor)
+	}{
+		{"none", nil},
+		{"adaptive", attachAdaptive},
+		{"attack-decay", attachAttackDecay},
+		{"pid", attachPID},
+	}
+	rng := rand.New(rand.NewSource(20260809))
+	for i := 0; i < 12; i++ {
+		cfg := DefaultConfig()
+		cfg.Seed = rng.Int63n(1 << 30)
+		profile := profiles[rng.Intn(len(profiles))]
+		att := attachers[rng.Intn(len(attachers))]
+		cfg.DeepSleep = rng.Intn(2) == 0
+		cfg.StoreForwarding = rng.Intn(2) == 0
+		cfg.Prefetch = rng.Intn(2) == 0
+		if rng.Intn(3) == 0 {
+			cfg.SplitFrontEnd = true
+			cfg.ControlFrontEnd = rng.Intn(2) == 0
+		}
+		if rng.Intn(2) == 0 {
+			cfg.Transitions.Style = clock.Transmeta
+		}
+		if rng.Intn(2) == 0 {
+			cfg.SyncPolicy = 1 // token-ring
+		}
+		var faultLevel float64
+		if att.fn != nil && rng.Intn(2) == 0 {
+			faultLevel = 0.25 + 0.75*rng.Float64()
+			cfg.Faults = faults.Intensity(faultLevel, rng.Int63n(1<<30))
+		}
+		barriers := rng.Intn(2) == 0
+		insts := int64(6000 + rng.Intn(10000))
+		label := fmt.Sprintf("case%02d(%s,%s,seed=%d,deep=%v,split=%v,faults=%.2f,barriers=%v)",
+			i, profile, att.name, cfg.Seed, cfg.DeepSleep, cfg.SplitFrontEnd, faultLevel, barriers)
+		t.Run(label, func(t *testing.T) {
+			chipDiffRun(t, label, cfg, profile, insts, att.fn, barriers)
+		})
+	}
+}
+
 // TestEventCoreSkipsEdges asserts the engine actually descheduled work
 // on a workload with idle domains: a pure-integer profile leaves the FP
 // domain asleep almost permanently.

@@ -149,6 +149,18 @@ type Processor struct {
 
 	lastCommit clock.Time
 	ran        bool
+
+	// eventNow is the time of the last consumed clock edge — the resume
+	// point a chip's epoch barrier pauses the event loop at, and the end
+	// time collect closes the meters at.
+	eventNow clock.Time
+	// execCapMHz is the chip governor's frequency ceiling on the
+	// execution domains (0 = uncapped). uncappedMHz remembers each
+	// domain controller's last quantized target so lifting or lowering
+	// the cap can re-derive the effective frequency without consulting
+	// the controller.
+	execCapMHz  float64
+	uncappedMHz [isa.NumExecDomains]float64
 }
 
 // New builds a processor from cfg.
@@ -176,6 +188,9 @@ func New(cfg Config) (*Processor, error) {
 		p.uopFree = append(p.uopFree, &slab[i])
 	}
 	p.issueScratch = make([]int, 0, cfg.IssueWidth)
+	for d := 0; d < isa.NumExecDomains; d++ {
+		p.uncappedMHz[d] = cfg.Range.MaxMHz
+	}
 
 	if inj := faults.NewInjector(cfg.Faults, cfg.SamplingPeriod()); inj != nil {
 		for d := 0; d < isa.NumExecDomains; d++ {
@@ -323,6 +338,15 @@ func (p *Processor) SetCycleStepped(on bool) {
 // after the context ends. A cancelled Processor is spent, like any
 // other that has run.
 func (p *Processor) RunContext(ctx context.Context, src trace.Source) (*Result, error) {
+	if !p.cycleStepped {
+		if err := p.beginEventRun(ctx, src); err != nil {
+			return nil, err
+		}
+		if _, err := p.advanceEvent(ctx, clock.Forever); err != nil {
+			return nil, err
+		}
+		return p.collect(p.eventNow), nil
+	}
 	if p.ran {
 		return nil, errors.New("mcd: Processor.Run called twice; create a new Processor per run")
 	}
@@ -330,14 +354,6 @@ func (p *Processor) RunContext(ctx context.Context, src trace.Source) (*Result, 
 	p.src = src
 	if err := ctx.Err(); err != nil {
 		return nil, err
-	}
-	if !p.cycleStepped {
-		p.eventMode = true
-		end, err := p.runEvent(ctx)
-		if err != nil {
-			return nil, err
-		}
-		return p.collect(end), nil
 	}
 
 	var now clock.Time
@@ -364,26 +380,58 @@ func (p *Processor) RunContext(ctx context.Context, src trace.Source) (*Result, 
 	return p.collect(now), nil
 }
 
-// runEvent is the event-driven main loop. Every clock edge of every
+// beginEventRun claims the processor for an event-driven run and binds
+// its instruction source — the setup half of RunContext, split out so a
+// Chip can interleave advanceEvent calls across cores.
+func (p *Processor) beginEventRun(ctx context.Context, src trace.Source) error {
+	if p.ran {
+		return errors.New("mcd: Processor.Run called twice; create a new Processor per run")
+	}
+	if p.cycleStepped {
+		return errors.New("mcd: chip cores require the event engine (SetCycleStepped is single-core only)")
+	}
+	p.ran = true
+	p.src = src
+	p.eventMode = true
+	p.check = ctxCheckInterval
+	return ctx.Err()
+}
+
+// advanceEvent is the event-driven main loop. Every clock edge of every
 // domain is still consumed in exact arbitration order (edge times and
 // jitter draws are part of the bit-exact contract), but a descheduled
 // domain's edge skips its cycle work entirely: the engine advances the
 // clock and the precomputed idle charge replays the meter's float
 // stream. A domain runs its full cycle work again at the first edge at
-// or after its earliest wake event. It returns the end-of-simulation
-// time for collect.
-func (p *Processor) runEvent(ctx context.Context) (clock.Time, error) {
+// or after its earliest wake event.
+//
+// The loop runs until the workload completes (done = true) or the next
+// pending edge lands at or after deadline, whichever is first. Pausing
+// consumes nothing — Next is a peek — so a later call resumes the
+// bit-exact edge stream where this one stopped; clock.Forever never
+// pauses. The last consumed edge time persists in p.eventNow for
+// collect.
+func (p *Processor) advanceEvent(ctx context.Context, deadline clock.Time) (bool, error) {
 	eng := p.eng
-	p.check = ctxCheckInterval
-	var now clock.Time
 	for {
 		idx, t := eng.Next()
 		if idx < 0 {
-			return 0, errors.New("mcd: all clocks stopped")
+			return false, errors.New("mcd: all clocks stopped")
+		}
+		if t >= deadline {
+			return false, nil
 		}
 		if eng.Asleep(idx) {
 			if t < eng.WakeAt(idx) {
-				if h := eng.IdleHorizon(); t < h {
+				h := eng.IdleHorizon()
+				if h > deadline {
+					// The drain must not consume sleeping domains' edges
+					// past the pause point: a governor actuation at the
+					// deadline changes the voltage their idle charges
+					// assume.
+					h = deadline
+				}
+				if t < h {
 					// No slow edge can run before h: batch-drain every
 					// sleeping domain's edges below it without
 					// re-arbitrating per edge.
@@ -396,7 +444,7 @@ func (p *Processor) runEvent(ctx context.Context) (clock.Time, error) {
 				if p.check <= 0 {
 					p.check = ctxCheckInterval
 					if err := ctx.Err(); err != nil {
-						return 0, err
+						return false, err
 					}
 				}
 				continue
@@ -404,18 +452,18 @@ func (p *Processor) runEvent(ctx context.Context) (clock.Time, error) {
 			eng.WakeDue(idx)
 		}
 		eng.Advance(idx)
-		now = t
+		p.eventNow = t
 		p.runEdge(idx, t)
 		if p.traceDone && p.rob.empty() && p.feQueue.Empty() {
-			return now, nil
+			return true, nil
 		}
-		if now-p.lastCommit > commitTimeout {
-			return 0, fmt.Errorf("mcd: no commit progress since %v (now %v): likely scheduling deadlock", p.lastCommit, now)
+		if t-p.lastCommit > commitTimeout {
+			return false, fmt.Errorf("mcd: no commit progress since %v (now %v): likely scheduling deadlock", p.lastCommit, t)
 		}
 		if p.check--; p.check <= 0 {
 			p.check = ctxCheckInterval
 			if err := ctx.Err(); err != nil {
-				return 0, err
+				return false, err
 			}
 		}
 	}
@@ -1146,8 +1194,10 @@ func (p *Processor) sampleCycle(now clock.Time) {
 				}
 			}
 			if change {
+				qt := p.cfg.Range.Quantize(target)
+				p.uncappedMHz[dom] = qt
 				before := d.Transitions()
-				d.SetTarget(now, p.cfg.Range.Quantize(target))
+				d.SetTarget(now, p.cappedMHz(qt))
 				if cost := p.cfg.Transitions.EnergyPerTransitionJ; cost > 0 && d.Transitions() > before {
 					// Regulator switching energy (ignored by the paper
 					// because the capacitors are small; charged here
@@ -1191,6 +1241,70 @@ func (p *Processor) sampleCycle(now clock.Time) {
 		}
 	}
 }
+
+// cappedMHz applies the chip governor's frequency ceiling to an
+// execution-domain target. With no cap in force it is the identity, so
+// the single-core control path is untouched.
+func (p *Processor) cappedMHz(mhz float64) float64 {
+	if p.execCapMHz > 0 && mhz > p.execCapMHz {
+		return p.execCapMHz
+	}
+	return mhz
+}
+
+// SetFreqCap imposes (or, with mhz <= 0, lifts) a chip-level frequency
+// ceiling on the execution domains. The cap composes with per-domain
+// control: each domain runs at min(controller target, cap), so the
+// paper's adaptive reaction-time machinery keeps working underneath a
+// chip power governor. The front end is left at its own target — the
+// paper pins it at f_max, and starving dispatch would distort the very
+// queue occupancies the domain controllers observe. Caps are quantized
+// to the DVFS range like any controller target and actuate ideally
+// (the chip governor bypasses the per-domain fault injectors).
+func (p *Processor) SetFreqCap(now clock.Time, mhz float64) {
+	if mhz <= 0 {
+		p.execCapMHz = 0
+	} else {
+		p.execCapMHz = p.cfg.Range.Quantize(mhz)
+	}
+	for dom := 0; dom < isa.NumExecDomains; dom++ {
+		d := p.exec[dom]
+		eff := p.cappedMHz(p.uncappedMHz[dom])
+		if eff == d.TargetMHz() {
+			continue
+		}
+		before := d.Transitions()
+		d.SetTarget(now, eff)
+		if cost := p.cfg.Transitions.EnergyPerTransitionJ; cost > 0 && d.Transitions() > before {
+			p.execMeters[dom].AddJ(cost)
+		}
+		if p.eventMode {
+			// Same invalidation as sampleCycle: a sleeping domain's
+			// precomputed idle charge assumes a fixed voltage.
+			p.eng.Wake(engExecBase+dom, clock.EvFreqChange)
+		}
+	}
+}
+
+// EnergySnapshotJ is the running chip-governor power sensor: total
+// energy consumed so far across every domain meter. Leakage is
+// integrated up to each meter's last consumed edge, which depends only
+// on the simulated event stream — never on wall clock or worker
+// scheduling — so snapshots taken at an epoch barrier are bit-identical
+// across worker-pool sizes.
+func (p *Processor) EnergySnapshotJ() float64 {
+	total := p.feMeter.TotalJ()
+	if p.fetchMeter != nil {
+		total += p.fetchMeter.TotalJ()
+	}
+	for d := 0; d < isa.NumExecDomains; d++ {
+		total += p.execMeters[d].TotalJ()
+	}
+	return total
+}
+
+// RetiredInsts reports how many instructions have committed so far.
+func (p *Processor) RetiredInsts() int64 { return p.retired }
 
 // recordFreq appends a frequency-trace point when the frequency moved.
 func (p *Processor) recordFreq(dom isa.ExecDomain, now clock.Time, mhz float64) {

@@ -9,6 +9,8 @@ import (
 
 	"mcddvfs/internal/experiment"
 	"mcddvfs/internal/faults"
+	"mcddvfs/internal/governor"
+	"mcddvfs/internal/mcd"
 	"mcddvfs/internal/scheme"
 	"mcddvfs/internal/trace"
 )
@@ -49,6 +51,18 @@ type RenderRequest struct {
 	// default; clamped to the server maximum). Excluded from the cache
 	// identity: it bounds the attempt, not the result.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Cores sizes the simulated chip (0 or 1 = the classic single-core
+	// processor; >1 = an N-core chip).
+	Cores int `json:"cores,omitempty"`
+	// PowerCapW is the chip power budget in watts (0 = unbudgeted). A
+	// positive budget with no Governor selects integral-gain.
+	PowerCapW float64 `json:"power_cap_w,omitempty"`
+	// Governor names a chip-level power-cap governor from the registry
+	// (GET via the CLI's -governor usage; empty = none).
+	Governor string `json:"governor,omitempty"`
+	// GovernorGain overrides the governor's integral gain in MHz/W
+	// (0 = the governor default).
+	GovernorGain float64 `json:"governor_gain,omitempty"`
 }
 
 // renderSpec is a validated, normalized request plus its effective
@@ -113,6 +127,27 @@ func validateSpec(req RenderRequest, defaultTimeout, maxTimeout time.Duration) (
 	if req.TimeoutMS < 0 {
 		return renderSpec{}, invalid("negative timeout_ms %d", req.TimeoutMS)
 	}
+	if req.Cores < 0 {
+		return renderSpec{}, invalid("negative cores %d", req.Cores)
+	}
+	if req.Cores > mcd.MaxChipCores {
+		return renderSpec{}, invalid("cores %d exceeds the %d-core chip bound", req.Cores, mcd.MaxChipCores)
+	}
+	if req.PowerCapW < 0 {
+		return renderSpec{}, invalid("negative power_cap_w %g", req.PowerCapW)
+	}
+	if req.GovernorGain < 0 {
+		return renderSpec{}, invalid("negative governor_gain %g", req.GovernorGain)
+	}
+	if req.Governor != "" {
+		d, ok := governor.Lookup(req.Governor)
+		if !ok {
+			return renderSpec{}, invalid("unknown governor %q (registered: %s)", req.Governor, governor.NamesList())
+		}
+		if req.PowerCapW > 0 && !d.Capping {
+			return renderSpec{}, invalid("governor %q does not cap power", req.Governor)
+		}
+	}
 	timeout := defaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -130,6 +165,19 @@ func validateSpec(req RenderRequest, defaultTimeout, maxTimeout time.Duration) (
 	}
 	if req.Seed == 0 {
 		req.Seed = def.Seed
+	}
+	// Chip-field normalization, same one-spec rule: a 1-core chip IS the
+	// default single-core machine, an explicit "none" with no budget IS
+	// the default governor, and a budget with no governor named selects
+	// integral-gain (mirroring the harness's governorName resolution).
+	if req.Cores == 1 {
+		req.Cores = 0
+	}
+	if req.Governor == "none" && req.PowerCapW == 0 {
+		req.Governor = ""
+	}
+	if req.Governor == "" && req.PowerCapW > 0 {
+		req.Governor = "integral-gain"
 	}
 	return renderSpec{req: req, format: format, timeout: timeout}, nil
 }
@@ -163,6 +211,10 @@ func (s renderSpec) options(cacheDir string, cacheMaxBytes int64) experiment.Opt
 		Timeout:          s.timeout,
 		CacheDir:         cacheDir,
 		CacheMaxBytes:    cacheMaxBytes,
+		Cores:            s.req.Cores,
+		PowerCapW:        s.req.PowerCapW,
+		Governor:         s.req.Governor,
+		GovernorGain:     s.req.GovernorGain,
 	}
 	if s.req.FaultIntensity > 0 {
 		opt.Faults = faults.Intensity(s.req.FaultIntensity, s.req.FaultSeed)

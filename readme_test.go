@@ -34,20 +34,52 @@ func TestReadmeSchemeTable(t *testing.T) {
 		t.Errorf("README scheme table is out of date; it must contain exactly these registry-derived rows in order:\n%s", table)
 	}
 
-	// No row for a scheme the registry does not know.
+	// No row for a scheme or governor the registries do not know. Rows
+	// whose backticked token starts with "-" document CLI flags, not
+	// registry entries.
 	for _, line := range strings.Split(readme, "\n") {
 		if !strings.HasPrefix(line, "| `") {
 			continue
 		}
-		name := strings.TrimPrefix(strings.SplitN(line, "`", 3)[1], "")
+		name := strings.SplitN(line, "`", 3)[1]
+		if strings.HasPrefix(name, "-") {
+			continue
+		}
 		known := false
 		for _, d := range Schemes() {
 			if string(d.Name) == name {
 				known = true
 			}
 		}
-		if !known {
-			t.Errorf("README documents unregistered scheme %q", name)
+		for _, d := range Governors() {
+			if d.Name == name {
+				known = true
+			}
 		}
+		if !known {
+			t.Errorf("README documents unregistered scheme or governor %q", name)
+		}
+	}
+}
+
+// TestReadmeGovernorTable is the governor registry's twin of the scheme
+// check: the README table must carry exactly the registry-derived rows,
+// in registry order.
+func TestReadmeGovernorTable(t *testing.T) {
+	src, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []string
+	for _, d := range Governors() {
+		kind := "capping"
+		if !d.Capping {
+			kind = "baseline"
+		}
+		rows = append(rows, fmt.Sprintf("| `%s` | %s | %s |", d.Name, kind, d.Description))
+	}
+	table := strings.Join(rows, "\n")
+	if !strings.Contains(string(src), table) {
+		t.Errorf("README governor table is out of date; it must contain exactly these registry-derived rows in order:\n%s", table)
 	}
 }
